@@ -1,0 +1,101 @@
+// Benchmarks: one per table and figure of the paper's evaluation. Each
+// wraps the corresponding experiment runner at a reduced scale so the
+// full suite is runnable as `go test -bench=. -benchmem`; cmd/tetris-bench
+// runs the same experiments at full scale and prints their reports.
+//
+// These are macro-benchmarks: b.N iterations re-run the whole experiment,
+// so expect seconds per iteration. Performance regressions in the
+// scheduler or simulator show up directly in these numbers.
+package tetris_test
+
+import (
+	"io"
+	"testing"
+
+	"github.com/tetris-sched/tetris/internal/experiments"
+)
+
+// benchScale keeps every experiment iteration in the single-digit-second
+// range; shape fidelity at this scale is reduced (see EXPERIMENTS.md for
+// full-scale results).
+const benchScale = 0.1
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(experiments.Params{Scale: benchScale, Seed: 42}, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figure 1: the worked DRF-vs-packing example.
+func BenchmarkFig1DRFvsPacking(b *testing.B) { benchExperiment(b, "fig1") }
+
+// Figure 2: demand heatmaps.
+func BenchmarkFig2Heatmap(b *testing.B) { benchExperiment(b, "fig2") }
+
+// Table 2: demand correlation matrix.
+func BenchmarkTable2Correlation(b *testing.B) { benchExperiment(b, "table2") }
+
+// Table 3: resource tightness under the production scheduler.
+func BenchmarkTable3Tightness(b *testing.B) { benchExperiment(b, "table3") }
+
+// §2.2.3: the simple upper bound on packing gains.
+func BenchmarkUpperBound(b *testing.B) { benchExperiment(b, "upper") }
+
+// Figure 4: deployment workload, Tetris vs CS and DRF.
+func BenchmarkFig4Deployment(b *testing.B) { benchExperiment(b, "fig4") }
+
+// Figure 5: running tasks and utilization timeseries.
+func BenchmarkFig5Timeseries(b *testing.B) { benchExperiment(b, "fig5") }
+
+// Table 6: machine-level high-usage probabilities.
+func BenchmarkTable6MachineUsage(b *testing.B) { benchExperiment(b, "table6") }
+
+// Figure 6: resource tracker vs ingestion.
+func BenchmarkFig6Ingestion(b *testing.B) { benchExperiment(b, "fig6") }
+
+// Table 7: RM heartbeat-processing overheads.
+func BenchmarkTable7Heartbeat(b *testing.B) { benchExperiment(b, "table7") }
+
+// Figure 7: trace-driven simulation headline gains.
+func BenchmarkFig7Simulation(b *testing.B) { benchExperiment(b, "fig7") }
+
+// §5.3.1: over-allocation vs fragmentation gain split.
+func BenchmarkGainSplit(b *testing.B) { benchExperiment(b, "gainsplit") }
+
+// §5.3.1: SRTF-only and packing-only ablations.
+func BenchmarkHeuristicAblation(b *testing.B) { benchExperiment(b, "heuronly") }
+
+// Table 8: alignment scorer alternatives.
+func BenchmarkTable8Scorers(b *testing.B) { benchExperiment(b, "table8") }
+
+// Figure 8: fairness knob sweep.
+func BenchmarkFig8FairnessKnob(b *testing.B) { benchExperiment(b, "fig8") }
+
+// Figure 9: slowdowns per fairness knob.
+func BenchmarkFig9Slowdown(b *testing.B) { benchExperiment(b, "fig9") }
+
+// §5.3.2: relative integral unfairness.
+func BenchmarkRelIntUnfairness(b *testing.B) { benchExperiment(b, "riu") }
+
+// Figure 10: barrier knob sweep.
+func BenchmarkFig10Barrier(b *testing.B) { benchExperiment(b, "fig10") }
+
+// §5.3.3: remote penalty sensitivity.
+func BenchmarkRemotePenalty(b *testing.B) { benchExperiment(b, "sens-rp") }
+
+// §5.3.3: ε multiplier sensitivity.
+func BenchmarkEpsilonSweep(b *testing.B) { benchExperiment(b, "sens-eps") }
+
+// Figure 11: gains vs cluster load.
+func BenchmarkFig11Load(b *testing.B) { benchExperiment(b, "fig11") }
+
+// §4.1: gains under demand-estimation error.
+func BenchmarkEstimationError(b *testing.B) { benchExperiment(b, "est-err") }

@@ -1,0 +1,63 @@
+// tetris-bench regenerates the tables and figures of the paper's
+// evaluation. Each experiment prints the same rows/series the paper
+// reports; EXPERIMENTS.md records the measured-vs-paper comparison.
+//
+// Usage:
+//
+//	tetris-bench -list
+//	tetris-bench -run fig7
+//	tetris-bench -run all -scale 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/tetris-sched/tetris/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		run   = flag.String("run", "", "experiment id to run, or \"all\"")
+		scale = flag.Float64("scale", 1, "experiment scale (1 = full size)")
+		seed  = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Printf("%-10s %-12s %s\n", "id", "paper", "description")
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %-12s %s\n", e.ID, e.Paper, e.Desc)
+		}
+		if *run == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nuse -run <id> or -run all")
+			os.Exit(2)
+		}
+		return
+	}
+
+	p := experiments.Params{Scale: *scale, Seed: *seed}
+	var todo []experiments.Experiment
+	if *run == "all" {
+		todo = experiments.All()
+	} else {
+		e, ok := experiments.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *run)
+			os.Exit(2)
+		}
+		todo = []experiments.Experiment{e}
+	}
+	for _, e := range todo {
+		fmt.Printf("==================== %s (%s) ====================\n", e.ID, e.Paper)
+		start := time.Now()
+		if err := e.Run(p, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-------------------- %s done in %s --------------------\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,125 @@
+// tetris-sim runs one trace-driven simulation and reports makespan, job
+// completion times and utilization.
+//
+// Usage:
+//
+//	tetris-sim -scheduler tetris -machines 100 -jobs 200
+//	tetris-sim -scheduler drf -trace trace.json
+//	tetris-sim -scheduler tetris -fairness 0 -barrier 1 -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	tetris "github.com/tetris-sched/tetris"
+	"github.com/tetris-sched/tetris/internal/scheduler"
+	"github.com/tetris-sched/tetris/internal/stats"
+)
+
+func main() {
+	var (
+		schedName = flag.String("scheduler", "tetris", "tetris | slot-fair | drf")
+		machines  = flag.Int("machines", 100, "cluster size")
+		jobs      = flag.Int("jobs", 100, "jobs to generate (ignored with -trace)")
+		tracePath = flag.String("trace", "", "load workload from JSON instead of generating")
+		traceKind = flag.String("workload", "suite", "generator: suite | facebook")
+		seed      = flag.Int64("seed", 42, "random seed")
+		span      = flag.Float64("arrival-span", 5000, "arrival span in seconds (0 = all at t=0)")
+		fairness  = flag.Float64("fairness", 0.25, "tetris fairness knob f ∈ [0,1)")
+		barrier   = flag.Float64("barrier", 0.9, "tetris barrier knob b ∈ (0,1]")
+		penalty   = flag.Float64("remote-penalty", 0.1, "tetris remote penalty")
+		epsMult   = flag.Float64("eps", 1, "tetris ε multiplier m")
+		compare   = flag.Bool("compare", false, "also run slot-fair and DRF and print gains")
+		failures  = flag.Float64("failures", 0, "task failure probability (re-executed on failure)")
+	)
+	flag.Parse()
+
+	wl := loadWorkload(*tracePath, *traceKind, *seed, *jobs, *machines, *span)
+	if wl.NumMachines > *machines {
+		log.Fatalf("workload references %d machines; raise -machines", wl.NumMachines)
+	}
+	mkSched := func(name string) tetris.Scheduler {
+		switch name {
+		case "tetris":
+			cfg := tetris.DefaultConfig()
+			cfg.Fairness = *fairness
+			cfg.Barrier = *barrier
+			cfg.RemotePenalty = *penalty
+			cfg.EpsilonMultiplier = *epsMult
+			return tetris.NewScheduler(cfg)
+		case "slot-fair", "cs", "fair":
+			return tetris.NewSlotFairScheduler()
+		case "drf":
+			return tetris.NewDRFScheduler()
+		case "drf-network":
+			return scheduler.NewDRFWithNetwork()
+		default:
+			log.Fatalf("unknown scheduler %q", name)
+			return nil
+		}
+	}
+
+	run := func(name string) *tetris.Result {
+		res, err := tetris.Simulate(tetris.SimConfig{
+			Cluster:         tetris.NewFacebookCluster(*machines),
+			Workload:        wl,
+			Scheduler:       mkSched(name),
+			TaskFailureProb: *failures,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		return res
+	}
+
+	res := run(*schedName)
+	jcts := res.JCTs()
+	fmt.Printf("scheduler     %s\n", *schedName)
+	fmt.Printf("jobs          %d (%d tasks)\n", len(res.Jobs), wl.NumTasks())
+	fmt.Printf("makespan      %.0f s\n", res.Makespan)
+	fmt.Printf("avg JCT       %.0f s (median %.0f, p90 %.0f)\n",
+		res.AvgJCT(), stats.Median(jcts), stats.Percentile(jcts, 90))
+	fmt.Printf("task duration %.1f s mean\n", res.MeanTaskDuration())
+	fmt.Printf("locality      %.0f%% of input bytes read locally\n", 100*res.LocalityFraction())
+	if *failures > 0 {
+		fmt.Printf("failures      %d task attempts failed and re-ran\n", res.FailedAttempts)
+	}
+
+	if *compare && *schedName == "tetris" {
+		for _, base := range []string{"slot-fair", "drf"} {
+			b := run(base)
+			fmt.Printf("\nvs %-10s mean JCT gain %.1f%%  median %.1f%%  makespan gain %.1f%%\n",
+				base,
+				stats.Mean(tetris.PerJobImprovement(b, res)),
+				stats.Median(tetris.PerJobImprovement(b, res)),
+				tetris.Improvement(b.Makespan, res.Makespan))
+		}
+	}
+}
+
+func loadWorkload(path, kind string, seed int64, jobs, machines int, span float64) *tetris.Workload {
+	if path != "" {
+		wl, err := tetris.LoadWorkload(path)
+		if err != nil {
+			log.Fatalf("load trace: %v", err)
+		}
+		return wl
+	}
+	cfg := tetris.TraceConfig{
+		Seed: seed, NumJobs: jobs, NumMachines: machines,
+		ArrivalSpanSec: span, RecurringFraction: 0.4,
+	}
+	switch kind {
+	case "suite":
+		return tetris.GenerateWorkload(cfg)
+	case "facebook":
+		return tetris.GenerateFacebookWorkload(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload kind %q\n", kind)
+		os.Exit(2)
+		return nil
+	}
+}

@@ -1,0 +1,67 @@
+// tracegen generates synthetic workload traces calibrated to the
+// production statistics of §2.2 and prints their summary statistics.
+//
+// Usage:
+//
+//	tracegen -jobs 200 -machines 100 -out trace.json
+//	tracegen -workload facebook -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	tetris "github.com/tetris-sched/tetris"
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/trace"
+)
+
+func main() {
+	var (
+		kind     = flag.String("workload", "suite", "generator: suite | facebook")
+		jobs     = flag.Int("jobs", 200, "number of jobs")
+		machines = flag.Int("machines", 100, "machine universe for block placement")
+		seed     = flag.Int64("seed", 42, "random seed")
+		span     = flag.Float64("arrival-span", 5000, "arrival span in seconds")
+		recur    = flag.Float64("recurring", 0.4, "fraction of recurring jobs")
+		out      = flag.String("out", "", "write the workload as JSON to this file")
+		summary  = flag.Bool("summary", true, "print §2.2 summary statistics")
+		heatmaps = flag.Bool("heatmaps", false, "print Figure-2 style demand heatmaps")
+	)
+	flag.Parse()
+
+	cfg := tetris.TraceConfig{
+		Seed: *seed, NumJobs: *jobs, NumMachines: *machines,
+		ArrivalSpanSec: *span, RecurringFraction: *recur,
+	}
+	var wl *tetris.Workload
+	switch *kind {
+	case "suite":
+		wl = tetris.GenerateWorkload(cfg)
+	case "facebook":
+		wl = tetris.GenerateFacebookWorkload(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	if *summary {
+		s := tetris.SummarizeWorkload(wl)
+		fmt.Print(s)
+		fmt.Printf("\ncorrelation matrix (Table 2):\n%s", s.CorrelationTable())
+	}
+	if *heatmaps {
+		for _, k := range []resources.Kind{resources.Memory, resources.DiskRead, resources.NetIn} {
+			h := trace.Heatmap(wl, k, 40)
+			fmt.Printf("\n--- %v vs cores ---\n%s", k, h.Render())
+		}
+	}
+	if *out != "" {
+		if err := tetris.SaveWorkload(*out, wl); err != nil {
+			log.Fatalf("save: %v", err)
+		}
+		fmt.Printf("\nwrote %d jobs (%d tasks) to %s\n", len(wl.Jobs), wl.NumTasks(), *out)
+	}
+}

@@ -1,0 +1,62 @@
+// drfvspacking reproduces the worked example of the paper's Figure 1:
+// three map/reduce jobs on an 18-core / 36 GB / 3 Gbps cluster, where a
+// fair allocation (DRF) finishes every job late while a packing schedule
+// finishes them at 2t, 3t and 4t by exploiting the complementarity of
+// map (CPU/memory) and reduce (network) demands across the barrier.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	tetris "github.com/tetris-sched/tetris"
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/scheduler"
+	"github.com/tetris-sched/tetris/internal/trace"
+)
+
+func main() {
+	const t = 10.0 // one "t" of the figure, in seconds
+
+	// Machine 0 is the compute cluster of the example; machine 1 is a
+	// storage-only node serving the reducers' shuffle input, so reduce
+	// reads traverse machine 0's 3 Gbps NIC.
+	cl := tetris.NewCluster(2, resources.Vector{}, 0)
+	cl.Machines[0].Capacity = tetris.NewVector(18, 36, 1000, 1000, 3000, 100)
+	cl.Machines[1].Capacity = tetris.NewVector(0, 0, 10000, 0, 0, 10000)
+
+	fmt.Println("Figure 1: jobs A (18 maps ⟨1 core, 2 GB⟩), B (6 maps ⟨3 cores, 1 GB⟩), C (2 maps ⟨3 cores, 1 GB⟩)")
+	fmt.Println("          every job has 3 reduce tasks needing 1 Gbps; all tasks run t =", t, "s")
+	fmt.Println()
+
+	for _, s := range []struct {
+		name string
+		sch  tetris.Scheduler
+	}{
+		{"DRF (cpu,mem,net)", scheduler.NewDRFWithNetwork()},
+		{"Tetris (packing)", tetris.NewScheduler(tetris.DefaultConfig())},
+	} {
+		res, err := tetris.Simulate(tetris.SimConfig{
+			Cluster:   cl,
+			Workload:  trace.Fig1Workload(t),
+			Scheduler: s.sch,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ids []int
+		for id := range res.Jobs {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		fmt.Printf("%-18s", s.name)
+		for _, id := range ids {
+			fmt.Printf("  %c: %4.2ft", 'A'+id, res.Jobs[id].Finish/t)
+		}
+		fmt.Printf("   makespan %4.2ft  avg JCT %4.2ft\n", res.Makespan/t, res.AvgJCT()/t)
+	}
+
+	fmt.Println("\nThe packing schedule finishes A/B/C at 4t/3t/2t — exactly Figure 1(b):")
+	fmt.Println("avoiding fragmentation and exploiting complementary demands lets every job finish earlier.")
+}

@@ -1,0 +1,69 @@
+// fairnessknob sweeps Tetris' fairness knob f on a small workload,
+// showing the paper's §3.4/§5.3.2 trade-off in miniature: f=0 is the
+// most efficient (and most unfair) schedule, f→1 is perfectly fair, and
+// f≈0.25 captures nearly all of the efficiency with almost none of the
+// unfairness.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tetris "github.com/tetris-sched/tetris"
+)
+
+func main() {
+	const machines = 20
+	wl := tetris.GenerateWorkload(tetris.TraceConfig{
+		Seed:           1,
+		NumJobs:        30,
+		NumMachines:    machines,
+		ArrivalSpanSec: 2000,
+	})
+
+	run := func(s tetris.Scheduler) *tetris.Result {
+		res, err := tetris.Simulate(tetris.SimConfig{
+			Cluster:   tetris.NewFacebookCluster(machines),
+			Workload:  wl,
+			Scheduler: s,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	fair := run(tetris.NewSlotFairScheduler())
+
+	fmt.Printf("fairness knob sweep (%d jobs, %d machines; baseline: slot-fair)\n\n", len(wl.Jobs), machines)
+	fmt.Printf("%6s %14s %14s %18s\n", "f", "JCT gain", "makespan gain", "jobs slowed down")
+	for _, f := range []float64{0, 0.25, 0.5, 0.75, 0.99} {
+		cfg := tetris.DefaultConfig()
+		cfg.Fairness = f
+		res := run(tetris.NewScheduler(cfg))
+		sd := slowdowns(fair, res)
+		fmt.Printf("%6.2f %13.1f%% %13.1f%% %17.1f%%\n", f,
+			tetris.Improvement(fair.AvgJCT(), res.AvgJCT()),
+			tetris.Improvement(fair.Makespan, res.Makespan),
+			100*sd)
+	}
+	fmt.Println("\nf≈0.25 keeps nearly the whole efficiency gain while slowing almost no jobs —")
+	fmt.Println("the operating point the paper deploys.")
+}
+
+func slowdowns(base, ours *tetris.Result) float64 {
+	slowed, n := 0, 0
+	for id, b := range base.Jobs {
+		o, ok := ours.Jobs[id]
+		if !ok || b.JCT <= 0 {
+			continue
+		}
+		n++
+		if o.JCT > b.JCT*1.001 {
+			slowed++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(slowed) / float64(n)
+}

@@ -1,0 +1,53 @@
+// Quickstart: generate a small workload, run it under Tetris and under
+// the two baseline schedulers, and print the gains — the library's
+// ten-line tour.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tetris "github.com/tetris-sched/tetris"
+	"github.com/tetris-sched/tetris/internal/stats"
+)
+
+func main() {
+	const machines = 20
+
+	// A workload in the style of the paper's §5.1 suite: map/reduce jobs
+	// from four size/selectivity classes, arriving over ~8 minutes.
+	wl := tetris.GenerateWorkload(tetris.TraceConfig{
+		Seed:           1,
+		NumJobs:        30,
+		NumMachines:    machines,
+		ArrivalSpanSec: 2000,
+	})
+	fmt.Printf("workload: %d jobs, %d tasks on %d machines\n\n", len(wl.Jobs), wl.NumTasks(), machines)
+
+	run := func(name string, s tetris.Scheduler) *tetris.Result {
+		res, err := tetris.Simulate(tetris.SimConfig{
+			Cluster:   tetris.NewFacebookCluster(machines),
+			Workload:  wl,
+			Scheduler: s,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-10s makespan %6.0fs   avg JCT %6.0fs   mean task %5.1fs\n",
+			name, res.Makespan, res.AvgJCT(), res.MeanTaskDuration())
+		return res
+	}
+
+	fair := run("slot-fair", tetris.NewSlotFairScheduler())
+	drf := run("drf", tetris.NewDRFScheduler())
+	tet := run("tetris", tetris.NewScheduler(tetris.DefaultConfig()))
+
+	fmt.Printf("\ntetris vs slot-fair: avg JCT gain %.0f%% (median job %.0f%%), makespan gain %.0f%%\n",
+		tetris.Improvement(fair.AvgJCT(), tet.AvgJCT()),
+		stats.Median(tetris.PerJobImprovement(fair, tet)),
+		tetris.Improvement(fair.Makespan, tet.Makespan))
+	fmt.Printf("tetris vs drf:       avg JCT gain %.0f%% (median job %.0f%%), makespan gain %.0f%%\n",
+		tetris.Improvement(drf.AvgJCT(), tet.AvgJCT()),
+		stats.Median(tetris.PerJobImprovement(drf, tet)),
+		tetris.Improvement(drf.Makespan, tet.Makespan))
+}

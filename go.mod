@@ -1,0 +1,3 @@
+module github.com/tetris-sched/tetris
+
+go 1.22

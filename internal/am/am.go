@@ -1,0 +1,93 @@
+// Package am implements the job manager (application master) of the
+// distributed prototype (§4.4): it submits its job's DAG — with declared
+// multi-resource task demands — to the resource manager and polls until
+// the job completes.
+package am
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/tetris-sched/tetris/internal/wire"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// Config parameterizes a job manager.
+type Config struct {
+	RMAddr string
+	Job    *workload.Job
+	// Poll interval (default 50 ms).
+	Poll time.Duration
+}
+
+// Result is the outcome of one job run.
+type Result struct {
+	JobID int
+	// JCT is the job completion time in RM-clock seconds (from job
+	// submission... the RM clock starts when the RM starts; callers
+	// interested in relative durations should difference submissions).
+	FinishedAt float64
+	// Wall is the real time from submission to completion.
+	Wall time.Duration
+}
+
+// Run submits the job and blocks until it finishes or ctx is canceled.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Job == nil {
+		return nil, fmt.Errorf("am: job is required")
+	}
+	if cfg.Poll == 0 {
+		cfg.Poll = 50 * time.Millisecond
+	}
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", cfg.RMAddr)
+	if err != nil {
+		return nil, fmt.Errorf("am: dial: %w", err)
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+	defer stop()
+
+	start := time.Now()
+	if err := wire.Write(conn, &wire.Message{Type: wire.TypeSubmitJob, SubmitJob: &wire.SubmitJob{Job: cfg.Job}}); err != nil {
+		return nil, fmt.Errorf("am: submit: %w", err)
+	}
+	reply, err := wire.Read(conn)
+	if err != nil {
+		return nil, fmt.Errorf("am: submit reply: %w", err)
+	}
+	if reply.Type == wire.TypeError {
+		return nil, fmt.Errorf("am: rm rejected job: %s", reply.Error)
+	}
+
+	ticker := time.NewTicker(cfg.Poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-ticker.C:
+		}
+		if err := wire.Write(conn, &wire.Message{Type: wire.TypeAMHeartbeat, AMHeartbeat: &wire.AMHeartbeat{JobID: cfg.Job.ID}}); err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("am: poll: %w", err)
+		}
+		reply, err := wire.Read(conn)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("am: poll reply: %w", err)
+		}
+		if reply.Type == wire.TypeError {
+			return nil, fmt.Errorf("am: rm error: %s", reply.Error)
+		}
+		if r := reply.AMReply; r != nil && r.Finished {
+			return &Result{JobID: cfg.Job.ID, FinishedAt: r.FinishedAt, Wall: time.Since(start)}, nil
+		}
+	}
+}

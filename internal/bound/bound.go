@@ -1,0 +1,84 @@
+// Package bound implements the simplified upper-bound construction of
+// §2.2.3: the cluster is aggregated into one large bin per unit time (no
+// machine-level fragmentation), tasks of a stage are given the stage's
+// mean resource requirements, every read is local, and tasks are placed
+// only when their full demands fit (no over-allocation). The gains such
+// a scheduler achieves over the baselines upper-bound the gains available
+// to any real packing scheduler; the paper reports Tetris reaches ≈ 90%
+// of them.
+package bound
+
+import (
+	"github.com/tetris-sched/tetris/internal/cluster"
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/scheduler"
+	"github.com/tetris-sched/tetris/internal/sim"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// Aggregate transforms a workload for the upper-bound run: every stage's
+// tasks get the stage's mean peak demand and mean work, and all input
+// becomes location-free (always local).
+func Aggregate(w *workload.Workload) *workload.Workload {
+	out := &workload.Workload{NumMachines: 1}
+	for _, j := range w.Jobs {
+		nj := &workload.Job{
+			ID:      j.ID,
+			Name:    j.Name,
+			Arrival: j.Arrival,
+			Lineage: j.Lineage,
+			Weight:  j.Weight,
+		}
+		for si, st := range j.Stages {
+			ns := &workload.Stage{Name: st.Name, Deps: append([]int(nil), st.Deps...)}
+			if len(st.Tasks) > 0 {
+				var peak resources.Vector
+				var cpu, write, input float64
+				for _, t := range st.Tasks {
+					peak = peak.Add(t.Peak)
+					cpu += t.Work.CPUSeconds
+					write += t.Work.WriteMB
+					input += t.TotalInputMB()
+				}
+				n := float64(len(st.Tasks))
+				peak = peak.Scale(1 / n)
+				// All reads become local: network demand is dropped, and
+				// the read happens at the disk-read peak.
+				peak = peak.With(resources.NetIn, 0).With(resources.NetOut, 0)
+				for ti := range st.Tasks {
+					nt := &workload.Task{
+						ID:   workload.TaskID{Job: j.ID, Stage: si, Index: ti},
+						Peak: peak,
+						Work: workload.Work{CPUSeconds: cpu / n, WriteMB: write / n},
+					}
+					if input > 0 {
+						nt.Inputs = []workload.InputBlock{{Machine: -1, SizeMB: input / n}}
+					}
+					ns.Tasks = append(ns.Tasks, nt)
+				}
+			}
+			nj.Stages = append(nj.Stages, ns)
+		}
+		out.Jobs = append(out.Jobs, nj)
+	}
+	return out
+}
+
+// Run computes the upper-bound schedule of the workload on the aggregate
+// of the given cluster and returns the simulation result (makespan, job
+// completion times).
+func Run(cl *cluster.Cluster, w *workload.Workload) (*sim.Result, error) {
+	agg := Aggregate(w)
+	one := cluster.New(1, cl.TotalCapacity(), 0)
+	cfg := scheduler.DefaultTetrisConfig()
+	cfg.Fairness = 0 // most efficient schedule
+	s, err := sim.New(sim.Config{
+		Cluster:   one,
+		Workload:  agg,
+		Scheduler: scheduler.NewTetris(cfg),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

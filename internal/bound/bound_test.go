@@ -1,0 +1,98 @@
+package bound
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tetris-sched/tetris/internal/cluster"
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/scheduler"
+	"github.com/tetris-sched/tetris/internal/sim"
+	"github.com/tetris-sched/tetris/internal/trace"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+func TestAggregateUniformsStages(t *testing.T) {
+	w := trace.GenerateSuite(trace.Config{Seed: 1, NumJobs: 4, NumMachines: 10})
+	agg := Aggregate(w)
+	if err := agg.Validate(); err != nil {
+		t.Fatalf("invalid aggregate: %v", err)
+	}
+	if agg.NumTasks() != w.NumTasks() {
+		t.Fatalf("task count changed: %d vs %d", agg.NumTasks(), w.NumTasks())
+	}
+	for _, j := range agg.Jobs {
+		for _, st := range j.Stages {
+			if len(st.Tasks) < 2 {
+				continue
+			}
+			first := st.Tasks[0]
+			for _, task := range st.Tasks[1:] {
+				if task.Peak != first.Peak {
+					t.Fatalf("stage tasks not uniform: %v vs %v", task.Peak, first.Peak)
+				}
+				if task.Work != first.Work {
+					t.Fatalf("stage work not uniform")
+				}
+			}
+			if first.Peak.Get(resources.NetIn) != 0 || first.Peak.Get(resources.NetOut) != 0 {
+				t.Fatal("aggregate tasks should have no network demand")
+			}
+			for _, b := range first.Inputs {
+				if b.Machine >= 0 {
+					t.Fatal("aggregate inputs must be location-free")
+				}
+			}
+		}
+	}
+}
+
+func TestUpperBoundNotWorseThanTetris(t *testing.T) {
+	w := trace.GenerateSuite(trace.Config{Seed: 2, NumJobs: 6, NumMachines: 16, MeanTaskSeconds: 10, ArrivalSpanSec: 100})
+	cl := cluster.NewFacebook(16)
+
+	ub, err := Run(cl, w)
+	if err != nil {
+		t.Fatalf("bound.Run: %v", err)
+	}
+	s, err := sim.New(sim.Config{Cluster: cl, Workload: w, Scheduler: scheduler.NewTetris(scheduler.DefaultTetrisConfig())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bound ignores fragmentation and remote reads, so it should not
+	// be meaningfully worse than a real schedule (a small tolerance
+	// absorbs heartbeat quantization and the mean-demand substitution).
+	if ub.Makespan > real.Makespan*1.15 {
+		t.Errorf("upper bound makespan %v exceeds real %v", ub.Makespan, real.Makespan)
+	}
+}
+
+func TestUpperBoundSimpleExact(t *testing.T) {
+	// 4 machines × 16 cores = 64 cores aggregate; 64 single-core 10 s
+	// tasks → bound makespan exactly 10 s (one big bin, no
+	// fragmentation).
+	cl := cluster.New(4, cluster.FacebookProfile(), 0)
+	j := &workload.Job{ID: 0, Weight: 1}
+	st := &workload.Stage{Name: "s"}
+	for i := 0; i < 64; i++ {
+		st.Tasks = append(st.Tasks, &workload.Task{
+			ID:   workload.TaskID{Job: 0, Stage: 0, Index: i},
+			Peak: resources.New(1, 1, 0, 0, 0, 0),
+			Work: workload.Work{CPUSeconds: 10},
+		})
+	}
+	j.Stages = []*workload.Stage{st}
+	wl := &workload.Workload{Jobs: []*workload.Job{j}, NumMachines: 4}
+
+	res, err := Run(cl, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-10) > 1e-6 {
+		t.Errorf("bound makespan = %v, want 10", res.Makespan)
+	}
+}

@@ -1,0 +1,112 @@
+// Package cluster models the machines a scheduler places tasks on:
+// per-machine multi-resource capacities and rack topology, including the
+// two hardware profiles used in the paper's evaluation (§5.1).
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/tetris-sched/tetris/internal/resources"
+)
+
+// Machine is one server. Capacity units follow resources.Vector: cores,
+// GB, MB/s disk read, MB/s disk write, Mb/s network in, Mb/s network out.
+type Machine struct {
+	ID       int
+	Rack     int
+	Capacity resources.Vector
+}
+
+// Cluster is a set of machines organized into racks.
+type Cluster struct {
+	Machines []*Machine
+	// RackSize is machines per rack (0 = single rack).
+	RackSize int
+	// CrossRackMbps caps each rack's uplink when > 0; the fluid simulator
+	// shares it among that rack's cross-rack flows. The deployment
+	// cluster in the paper has 2.5× oversubscription between racks.
+	CrossRackMbps float64
+}
+
+// New builds a cluster of n identical machines with the given per-machine
+// capacity, rackSize machines to a rack.
+func New(n int, capacity resources.Vector, rackSize int) *Cluster {
+	c := &Cluster{RackSize: rackSize}
+	for i := 0; i < n; i++ {
+		rack := 0
+		if rackSize > 0 {
+			rack = i / rackSize
+		}
+		c.Machines = append(c.Machines, &Machine{ID: i, Rack: rack, Capacity: capacity})
+	}
+	return c
+}
+
+// Size returns the number of machines.
+func (c *Cluster) Size() int { return len(c.Machines) }
+
+// NumRacks returns the number of racks.
+func (c *Cluster) NumRacks() int {
+	if len(c.Machines) == 0 {
+		return 0
+	}
+	return c.Machines[len(c.Machines)-1].Rack + 1
+}
+
+// TotalCapacity sums machine capacities — the "one big bag of resources"
+// aggregate view used by the upper-bound scheduler (§2.2.3).
+func (c *Cluster) TotalCapacity() resources.Vector {
+	var total resources.Vector
+	for _, m := range c.Machines {
+		total = total.Add(m.Capacity)
+	}
+	return total
+}
+
+// Validate checks machine ids are dense and capacities non-negative.
+func (c *Cluster) Validate() error {
+	for i, m := range c.Machines {
+		if m.ID != i {
+			return fmt.Errorf("machine at index %d has id %d", i, m.ID)
+		}
+		if !m.Capacity.NonNegative() {
+			return fmt.Errorf("machine %d: negative capacity %v", i, m.Capacity)
+		}
+	}
+	return nil
+}
+
+// FacebookProfile is the per-machine capacity the paper's trace-driven
+// simulator uses for the Facebook cluster: 16 cores, 32 GB memory, 4
+// disks at 50 MB/s each for read and write, and a 1 Gbps NIC (§5.1).
+func FacebookProfile() resources.Vector {
+	return resources.New(16, 32, 200, 200, 1000, 1000)
+}
+
+// DeploymentProfile approximates the 250-machine deployment cluster: more
+// cores and memory per machine, 4 drives, and a 10 Gbps NIC (§5.1; the
+// camera-ready digits are partially illegible, so we use a typical 2014
+// big-data server: 24 cores, 64 GB, 400 MB/s aggregate disk, 10 Gbps).
+func DeploymentProfile() resources.Vector {
+	return resources.New(24, 64, 400, 400, 10000, 10000)
+}
+
+// SmallProfile approximates the small test cluster used for the ingestion
+// micro-benchmark: fewer cores, 16 GB, one disk, 1 Gbps NIC.
+func SmallProfile() resources.Vector {
+	return resources.New(8, 16, 100, 100, 1000, 1000)
+}
+
+// NewFacebook builds an n-machine cluster with FacebookProfile capacities
+// in 20-machine racks (no cross-rack cap: the Facebook cluster is listed
+// with oversubscription ~1).
+func NewFacebook(n int) *Cluster { return New(n, FacebookProfile(), 20) }
+
+// NewDeployment builds an n-machine cluster with DeploymentProfile
+// capacities, 20 machines to a rack and 2.5× oversubscribed rack uplinks.
+func NewDeployment(n int) *Cluster {
+	c := New(n, DeploymentProfile(), 20)
+	perRack := float64(c.RackSize) * DeploymentProfile().Get(resources.NetOut)
+	c.CrossRackMbps = perRack / 2.5
+	return c
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/tetris-sched/tetris/internal/resources"
+)
+
+func TestNewAssignsRacks(t *testing.T) {
+	c := New(45, FacebookProfile(), 20)
+	if c.Size() != 45 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	if c.NumRacks() != 3 {
+		t.Fatalf("NumRacks = %d", c.NumRacks())
+	}
+	if c.Machines[0].Rack != 0 || c.Machines[19].Rack != 0 || c.Machines[20].Rack != 1 || c.Machines[44].Rack != 2 {
+		t.Error("rack assignment wrong")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestSingleRack(t *testing.T) {
+	c := New(5, SmallProfile(), 0)
+	for _, m := range c.Machines {
+		if m.Rack != 0 {
+			t.Fatalf("machine %d rack %d, want 0", m.ID, m.Rack)
+		}
+	}
+	if c.NumRacks() != 1 {
+		t.Errorf("NumRacks = %d", c.NumRacks())
+	}
+}
+
+func TestEmptyCluster(t *testing.T) {
+	c := New(0, FacebookProfile(), 20)
+	if c.NumRacks() != 0 || c.Size() != 0 {
+		t.Error("empty cluster accounting wrong")
+	}
+	if !c.TotalCapacity().IsZero() {
+		t.Error("empty cluster capacity should be zero")
+	}
+}
+
+func TestTotalCapacity(t *testing.T) {
+	c := New(10, FacebookProfile(), 20)
+	total := c.TotalCapacity()
+	if got := total.Get(resources.CPU); got != 160 {
+		t.Errorf("total cpu = %v", got)
+	}
+	if got := total.Get(resources.Memory); got != 320 {
+		t.Errorf("total mem = %v", got)
+	}
+}
+
+func TestValidateCatchesBadIDs(t *testing.T) {
+	c := New(3, FacebookProfile(), 20)
+	c.Machines[1].ID = 7
+	if err := c.Validate(); err == nil {
+		t.Error("misnumbered machine not detected")
+	}
+	c = New(3, FacebookProfile(), 20)
+	c.Machines[2].Capacity = c.Machines[2].Capacity.With(resources.CPU, -1)
+	if err := c.Validate(); err == nil {
+		t.Error("negative capacity not detected")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	fb := FacebookProfile()
+	if fb.Get(resources.CPU) != 16 || fb.Get(resources.Memory) != 32 {
+		t.Errorf("Facebook profile = %v", fb)
+	}
+	dep := DeploymentProfile()
+	if dep.Get(resources.NetIn) != 10000 {
+		t.Errorf("deployment NIC = %v", dep.Get(resources.NetIn))
+	}
+	if SmallProfile().Get(resources.DiskRead) != 100 {
+		t.Errorf("small profile disk = %v", SmallProfile())
+	}
+}
+
+func TestNewDeploymentOversubscription(t *testing.T) {
+	c := NewDeployment(40)
+	if c.CrossRackMbps <= 0 {
+		t.Fatal("deployment cluster must cap rack uplinks")
+	}
+	perRackEgress := float64(c.RackSize) * DeploymentProfile().Get(resources.NetOut)
+	if got := perRackEgress / c.CrossRackMbps; got < 2.4 || got > 2.6 {
+		t.Errorf("oversubscription = %v, want 2.5", got)
+	}
+}
+
+func TestNewFacebookNoCap(t *testing.T) {
+	c := NewFacebook(40)
+	if c.CrossRackMbps != 0 {
+		t.Error("facebook cluster should have uncapped core")
+	}
+	if c.Size() != 40 {
+		t.Errorf("Size = %d", c.Size())
+	}
+}

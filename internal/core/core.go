@@ -1,0 +1,26 @@
+// Package core exposes the paper's primary contribution — the Tetris
+// multi-resource packing scheduler — under the canonical layout name.
+// The implementation (together with the baselines it is evaluated
+// against, which share its Scheduler interface) lives in
+// internal/scheduler; this package aliases the Tetris-specific entry
+// points for consumers who want only the core policy.
+package core
+
+import "github.com/tetris-sched/tetris/internal/scheduler"
+
+// Tetris is the multi-resource packing scheduler of §3 of the paper.
+type Tetris = scheduler.Tetris
+
+// Config is Tetris's configuration: fairness knob, barrier knob, remote
+// penalty, ε multiplier, alignment scorer, and the optional extensions.
+type Config = scheduler.TetrisConfig
+
+// Scorer is the pluggable alignment heuristic (§3.2, Table 8).
+type Scorer = scheduler.Scorer
+
+// New creates a Tetris scheduler.
+func New(cfg Config) *Tetris { return scheduler.NewTetris(cfg) }
+
+// DefaultConfig is the paper's default operating point: f=0.25, b=0.9,
+// 10% remote penalty, ε=ā/p̄, cosine alignment.
+func DefaultConfig() Config { return scheduler.DefaultTetrisConfig() }

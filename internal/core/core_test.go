@@ -1,0 +1,14 @@
+package core
+
+import "testing"
+
+func TestCoreAliases(t *testing.T) {
+	tet := New(DefaultConfig())
+	if tet.Name() != "tetris" {
+		t.Errorf("Name = %q", tet.Name())
+	}
+	cfg := tet.Config()
+	if cfg.Fairness != 0.25 || cfg.Barrier != 0.9 || cfg.RemotePenalty != 0.1 {
+		t.Errorf("default config = %+v", cfg)
+	}
+}

@@ -1,0 +1,164 @@
+// Package estimator implements §4.1 of the paper: estimating tasks' peak
+// resource demands and durations from (a) completed tasks of the same
+// stage, (b) prior runs of recurring jobs, and (c) a deliberate
+// over-estimate when neither source is available — over-estimation is
+// preferred to under-estimation because the resource tracker can reclaim
+// idle resources but an under-provisioned task slows down.
+package estimator
+
+import (
+	"sync"
+
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/stats"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// Source says where an estimate came from.
+type Source int
+
+// Estimate sources, in decreasing order of fidelity.
+const (
+	// FromStage: measured statistics of completed tasks in the same stage
+	// of the same job.
+	FromStage Source = iota
+	// FromHistory: statistics from earlier runs of the same recurring job
+	// (same lineage and stage index).
+	FromHistory
+	// Overestimated: no measurements available; the declared demand was
+	// inflated by the over-estimation factor.
+	Overestimated
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case FromStage:
+		return "stage"
+	case FromHistory:
+		return "history"
+	default:
+		return "overestimate"
+	}
+}
+
+type stageKey struct {
+	job   int
+	stage int
+}
+
+type lineageKey struct {
+	lineage int
+	stage   int
+}
+
+// stageStats accumulates per-dimension demand and duration observations.
+type stageStats struct {
+	peak     [resources.NumKinds]stats.Online
+	duration stats.Online
+}
+
+func (ss *stageStats) observe(peak resources.Vector, duration float64) {
+	for k := 0; k < int(resources.NumKinds); k++ {
+		ss.peak[k].Add(peak.Get(resources.Kind(k)))
+	}
+	ss.duration.Add(duration)
+}
+
+func (ss *stageStats) meanPeak() resources.Vector {
+	var v resources.Vector
+	for k := 0; k < int(resources.NumKinds); k++ {
+		v = v.With(resources.Kind(k), ss.peak[k].Mean())
+	}
+	return v
+}
+
+// Estimator estimates task demands. It is safe for concurrent use (the
+// distributed prototype observes completions from many AM goroutines).
+// The zero value is NOT ready; use New.
+type Estimator struct {
+	// OverestimateFactor inflates declared demands when no measurements
+	// exist (default 1.5).
+	OverestimateFactor float64
+	// MinSamples before in-stage statistics are trusted (default 3).
+	MinSamples int
+
+	mu      sync.Mutex
+	current map[stageKey]*stageStats
+	history map[lineageKey]*stageStats
+}
+
+// New returns an Estimator with default parameters.
+func New() *Estimator {
+	return &Estimator{
+		OverestimateFactor: 1.5,
+		MinSamples:         3,
+		current:            make(map[stageKey]*stageStats),
+		history:            make(map[lineageKey]*stageStats),
+	}
+}
+
+// Observe records the measured peak usage and duration of a completed
+// task. Recurring jobs additionally feed their lineage history.
+func (e *Estimator) Observe(job *workload.Job, stage int, peak resources.Vector, duration float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ck := stageKey{job.ID, stage}
+	ss := e.current[ck]
+	if ss == nil {
+		ss = &stageStats{}
+		e.current[ck] = ss
+	}
+	ss.observe(peak, duration)
+	if job.Lineage != 0 {
+		lk := lineageKey{job.Lineage, stage}
+		hs := e.history[lk]
+		if hs == nil {
+			hs = &stageStats{}
+			e.history[lk] = hs
+		}
+		hs.observe(peak, duration)
+	}
+}
+
+// Estimate returns the estimated peak demand and duration for a task of
+// the given job and stage. declared is the demand the job manager stated
+// (usually the trace's true peak; in a real deployment, a guess).
+func (e *Estimator) Estimate(job *workload.Job, stage int, declared resources.Vector, declaredDuration float64) (resources.Vector, float64, Source) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ss := e.current[stageKey{job.ID, stage}]; ss != nil && ss.duration.N() >= e.MinSamples {
+		return ss.meanPeak(), ss.duration.Mean(), FromStage
+	}
+	if job.Lineage != 0 {
+		if hs := e.history[lineageKey{job.Lineage, stage}]; hs != nil && hs.duration.N() >= e.MinSamples {
+			return hs.meanPeak(), hs.duration.Mean(), FromHistory
+		}
+	}
+	f := e.OverestimateFactor
+	if f <= 0 {
+		f = 1
+	}
+	return declared.Scale(f), declaredDuration * f, Overestimated
+}
+
+// StageCoV returns the coefficient of variation of observed durations for
+// a stage of a job (diagnostic; §4.1 reports the production values).
+func (e *Estimator) StageCoV(jobID, stage int) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ss := e.current[stageKey{jobID, stage}]; ss != nil {
+		return ss.duration.CoV()
+	}
+	return 0
+}
+
+// ForgetJob drops the in-flight statistics of a finished job, keeping
+// only lineage history.
+func (e *Estimator) ForgetJob(jobID int, numStages int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for s := 0; s < numStages; s++ {
+		delete(e.current, stageKey{jobID, s})
+	}
+}

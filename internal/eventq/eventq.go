@@ -1,0 +1,68 @@
+// Package eventq implements the deterministic time-ordered event queue
+// that drives the discrete-event simulator. Events at equal timestamps
+// pop in insertion order so that simulations are reproducible.
+package eventq
+
+import "container/heap"
+
+// Queue is a min-heap of events ordered by (time, insertion sequence).
+// The zero value is an empty queue ready for use.
+type Queue[T any] struct {
+	h   itemHeap[T]
+	seq uint64
+}
+
+type item[T any] struct {
+	at    float64
+	seq   uint64
+	value T
+}
+
+type itemHeap[T any] []item[T]
+
+func (h itemHeap[T]) Len() int { return len(h) }
+func (h itemHeap[T]) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap[T]) Push(x any)   { *h = append(*h, x.(item[T])) }
+func (h *itemHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = item[T]{} // let GC reclaim the value
+	*h = old[:n-1]
+	return it
+}
+
+// Push schedules value at the given time.
+func (q *Queue[T]) Push(at float64, value T) {
+	q.seq++
+	heap.Push(&q.h, item[T]{at: at, seq: q.seq, value: value})
+}
+
+// Pop removes and returns the earliest event. ok is false when the queue
+// is empty.
+func (q *Queue[T]) Pop() (at float64, value T, ok bool) {
+	if len(q.h) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	it := heap.Pop(&q.h).(item[T])
+	return it.at, it.value, true
+}
+
+// Peek returns the earliest event without removing it.
+func (q *Queue[T]) Peek() (at float64, value T, ok bool) {
+	if len(q.h) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	return q.h[0].at, q.h[0].value, true
+}
+
+// Len returns the number of pending events.
+func (q *Queue[T]) Len() int { return len(q.h) }

@@ -1,0 +1,153 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2.2 and §5). Each experiment is identified by the id used
+// in DESIGN.md's per-experiment index; cmd/tetris-bench runs them from
+// the command line and bench_test.go wraps them as Go benchmarks.
+//
+// Experiments print the same rows/series the paper reports. Absolute
+// numbers differ (the substrate is a simulator, not the authors'
+// testbed); the shapes — who wins, by roughly what factor, where the
+// knees fall — are the reproduction targets, recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/tetris-sched/tetris/internal/cluster"
+	"github.com/tetris-sched/tetris/internal/scheduler"
+	"github.com/tetris-sched/tetris/internal/sim"
+	"github.com/tetris-sched/tetris/internal/stats"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// Params scales experiments. Scale 1 is the full configuration used for
+// EXPERIMENTS.md; benches run smaller scales. Seed makes runs
+// reproducible.
+type Params struct {
+	Scale float64
+	Seed  int64
+}
+
+// WithDefaults fills zero fields.
+func (p Params) WithDefaults() Params {
+	if p.Scale == 0 {
+		p.Scale = 1
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	return p
+}
+
+// scaled returns max(1, round(n × scale)).
+func (p Params) scaled(n int) int {
+	v := int(float64(n)*p.Scale + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Experiment is one reproducible table/figure generator.
+type Experiment struct {
+	// ID is the short name used by -run (e.g. "fig7").
+	ID string
+	// Paper names the table/figure reproduced.
+	Paper string
+	// Desc is a one-line description.
+	Desc string
+	// Run executes the experiment, writing its report to w.
+	Run func(p Params, w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment in registration order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared runners ----------------------------------------------------
+
+// runOne executes a single simulation, failing loudly on error.
+func runOne(cfg sim.Config) (*sim.Result, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// schedulers used across experiments. Fresh instances per run: Tetris
+// keeps per-cluster state.
+func newTetris() scheduler.Scheduler { return scheduler.NewTetris(scheduler.DefaultTetrisConfig()) }
+
+func tetrisWith(mutate func(*scheduler.TetrisConfig)) scheduler.Scheduler {
+	cfg := scheduler.DefaultTetrisConfig()
+	mutate(&cfg)
+	return scheduler.NewTetris(cfg)
+}
+
+// baselineRuns runs the same workload under slot-fair and DRF and returns
+// both results. A fresh workload state is required per run, so wl is a
+// generator.
+type runner struct {
+	cl *cluster.Cluster
+	wl func() *workload.Workload
+}
+
+func (r runner) run(sch scheduler.Scheduler, opts ...func(*sim.Config)) (*sim.Result, error) {
+	cfg := sim.Config{Cluster: r.cl, Workload: r.wl(), Scheduler: sch}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return runOne(cfg)
+}
+
+func withSampling(every float64) func(*sim.Config) {
+	return func(c *sim.Config) { c.SampleEvery = every }
+}
+
+func withShares() func(*sim.Config) {
+	return func(c *sim.Config) { c.TrackShares = true }
+}
+
+// --- formatting helpers -------------------------------------------------
+
+// improvementRow prints the paper's gain metrics for ours over a
+// baseline: improvement of the average JCT, the per-job improvement
+// distribution (median, p90), and makespan improvement.
+func improvementRow(w io.Writer, label string, base, ours *sim.Result) {
+	per := sim.PerJobImprovement(base, ours)
+	fmt.Fprintf(w, "%-22s avgJCT %6.1f%%  p50 %6.1f%%  p90 %6.1f%%  makespan %6.1f%%\n",
+		label,
+		sim.Improvement(base.AvgJCT(), ours.AvgJCT()),
+		stats.Median(per),
+		stats.Percentile(per, 90),
+		sim.Improvement(base.Makespan, ours.Makespan))
+}
+
+// cdfRows prints a per-job-improvement CDF at the given quantiles.
+func cdfRows(w io.Writer, label string, base, ours *sim.Result) {
+	per := sim.PerJobImprovement(base, ours)
+	sort.Float64s(per)
+	fmt.Fprintf(w, "CDF of JCT improvement, %s:\n", label)
+	for _, q := range []float64{0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95} {
+		fmt.Fprintf(w, "  p%02.0f %7.1f%%\n", q*100, stats.Percentile(per, q*100))
+	}
+}

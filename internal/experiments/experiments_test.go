@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smoke runs every registered experiment at a tiny scale: the goal is
+// that each produces output without error, not that shapes hold at toy
+// sizes (shape checks live in shape_test.go at larger scales).
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(Params{Scale: 0.06, Seed: 7}, &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Run == nil || e.Paper == "" || e.Desc == "" {
+			t.Errorf("incomplete experiment: %+v", e)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	// Every experiment promised in DESIGN.md's index must exist.
+	for _, id := range strings.Fields("fig1 fig2 table2 table3 upper fig4 fig5 table6 fig6 table7 fig7 gainsplit heuronly table8 fig8 fig9 riu fig10 sens-rp sens-eps fig11 est-err") {
+		if !ids[id] {
+			t.Errorf("experiment %q from DESIGN.md not registered", id)
+		}
+	}
+	if _, ok := ByID("fig7"); !ok {
+		t.Error("ByID(fig7) failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) succeeded")
+	}
+}
+
+func TestParams(t *testing.T) {
+	p := Params{}.WithDefaults()
+	if p.Scale != 1 || p.Seed == 0 {
+		t.Errorf("defaults: %+v", p)
+	}
+	if (Params{Scale: 0.01}).scaled(10) != 1 {
+		t.Error("scaled should floor at 1")
+	}
+	if (Params{Scale: 2}).scaled(10) != 20 {
+		t.Error("scaled(10) at 2x should be 20")
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/tetris-sched/tetris/internal/cluster"
+	"github.com/tetris-sched/tetris/internal/scheduler"
+	"github.com/tetris-sched/tetris/internal/sim"
+	"github.com/tetris-sched/tetris/internal/trace"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+func init() {
+	register(Experiment{ID: "fig10", Paper: "Figure 10", Desc: "barrier knob sweep", Run: runFig10})
+	register(Experiment{ID: "sens-rp", Paper: "§5.3.3", Desc: "remote penalty sensitivity", Run: runRemotePenalty})
+	register(Experiment{ID: "sens-eps", Paper: "§5.3.3", Desc: "ε (alignment vs SRTF weight) sensitivity", Run: runEpsilon})
+	register(Experiment{ID: "fig11", Paper: "Figure 11", Desc: "gains vs cluster load", Run: runFig11})
+}
+
+// sweep runs Tetris variants against the slot-fair and DRF baselines and
+// prints one gains row per variant.
+func sweep(p Params, w io.Writer, label string, values []float64, mutate func(*scheduler.TetrisConfig, float64)) error {
+	r := simulationRunner(p)
+	fair, err := r.run(scheduler.NewSlotFair())
+	if err != nil {
+		return err
+	}
+	drf, err := r.run(scheduler.NewDRF())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%6s | %10s %10s | %10s %10s\n", label, "JCT vs f", "JCT vs d", "mksp vs f", "mksp vs d")
+	for _, v := range values {
+		v := v
+		res, err := r.run(tetrisWith(func(c *scheduler.TetrisConfig) { mutate(c, v) }))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%6.2f | %9.1f%% %9.1f%% | %9.1f%% %9.1f%%\n", v,
+			sim.Improvement(fair.AvgJCT(), res.AvgJCT()),
+			sim.Improvement(drf.AvgJCT(), res.AvgJCT()),
+			sim.Improvement(fair.Makespan, res.Makespan),
+			sim.Improvement(drf.Makespan, res.Makespan))
+	}
+	return nil
+}
+
+func runFig10(p Params, w io.Writer) error {
+	p = p.WithDefaults()
+	fmt.Fprintf(w, "Figure 10: barrier knob b (b=1 disables the preference)\n")
+	fmt.Fprintf(w, "(paper: b≈0.9 balances stagnation-avoidance against packing; b<0.85 is worse than off)\n\n")
+	return sweep(p, w, "b", []float64{0.75, 0.85, 0.9, 0.95, 1.0},
+		func(c *scheduler.TetrisConfig, v float64) { c.Barrier = v })
+}
+
+func runRemotePenalty(p Params, w io.Writer) error {
+	p = p.WithDefaults()
+	fmt.Fprintf(w, "§5.3.3 remote penalty sensitivity\n")
+	fmt.Fprintf(w, "(paper: gains are flat for penalties ~5–40%%; beyond either side they drop moderately)\n\n")
+	return sweep(p, w, "rp", []float64{0, 0.05, 0.1, 0.2, 0.4, 0.8},
+		func(c *scheduler.TetrisConfig, v float64) { c.RemotePenalty = v })
+}
+
+func runEpsilon(p Params, w io.Writer) error {
+	p = p.WithDefaults()
+	fmt.Fprintf(w, "§5.3.3 ε sensitivity: combined score a − m·(ā/p̄)·p\n")
+	fmt.Fprintf(w, "(paper: m=0 loses ~10%% JCT gain; gains plateau by m≈0.5; makespan best near m=0)\n\n")
+	return sweep(p, w, "m", []float64{0, 0.1, 0.5, 1, 2, 4},
+		func(c *scheduler.TetrisConfig, v float64) { c.EpsilonMultiplier = v })
+}
+
+func runFig11(p Params, w io.Writer) error {
+	p = p.WithDefaults()
+	fmt.Fprintf(w, "Figure 11: gains vs cluster load (load scaled by shrinking the cluster)\n")
+	fmt.Fprintf(w, "(paper: gains grow with load; at 6× load makespan gains exceed 60%%)\n\n")
+	fmt.Fprintf(w, "%6s | %10s %10s\n", "load", "JCT gain", "mksp gain")
+	baseMachines := p.scaled(100)
+	for _, load := range []float64{1, 2, 4, 6} {
+		machines := int(float64(baseMachines) / load)
+		if machines < 4 {
+			machines = 4
+		}
+		r := runner{
+			cl: cluster.NewFacebook(machines),
+			wl: func() *workload.Workload {
+				return trace.GenerateFacebookLike(trace.Config{
+					Seed:              p.Seed,
+					NumJobs:           p.scaled(500),
+					NumMachines:       machines,
+					ArrivalSpanSec:    5000,
+					RecurringFraction: 0.4,
+				})
+			},
+		}
+		fair, err := r.run(scheduler.NewSlotFair())
+		if err != nil {
+			return err
+		}
+		tet, err := r.run(newTetris())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%5.0f× | %9.1f%% %9.1f%%\n", load,
+			sim.Improvement(fair.AvgJCT(), tet.AvgJCT()),
+			sim.Improvement(fair.Makespan, tet.Makespan))
+	}
+	return nil
+}

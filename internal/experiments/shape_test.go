@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/tetris-sched/tetris/internal/bound"
+	"github.com/tetris-sched/tetris/internal/cluster"
+	"github.com/tetris-sched/tetris/internal/scheduler"
+	"github.com/tetris-sched/tetris/internal/sim"
+	"github.com/tetris-sched/tetris/internal/trace"
+)
+
+// Shape tests: verify that the headline comparative results of the paper
+// hold in this reproduction at a moderate scale — who wins, in which
+// direction the knobs move the metrics. They are looser than the paper's
+// exact numbers (different substrate) but they pin the direction and
+// rough magnitude, so a regression in the scheduler or the simulator
+// model trips them.
+
+// shapeRunner is a mid-size §5-style setup shared by the shape tests.
+func shapeRunner(t *testing.T, seed int64) (runner, *sim.Result, *sim.Result) {
+	t.Helper()
+	p := Params{Scale: 0.2, Seed: seed}.WithDefaults()
+	r := deploymentRunner(p)
+	fair, err := r.run(scheduler.NewSlotFair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tet, err := r.run(newTetris())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, fair, tet
+}
+
+func TestShapeTetrisBeatsBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are slow")
+	}
+	r, fair, tet := shapeRunner(t, 42)
+	if g := sim.Improvement(fair.AvgJCT(), tet.AvgJCT()); g < 10 {
+		t.Errorf("avg JCT gain vs slot-fair = %.1f%%, want ≥ 10%% (paper ≈ 30–40%%)", g)
+	}
+	if g := sim.Improvement(fair.Makespan, tet.Makespan); g < 10 {
+		t.Errorf("makespan gain vs slot-fair = %.1f%%, want ≥ 10%% (paper ≈ 30%%)", g)
+	}
+	drf, err := r.run(scheduler.NewDRF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := sim.Improvement(drf.AvgJCT(), tet.AvgJCT()); g < 10 {
+		t.Errorf("avg JCT gain vs DRF = %.1f%%, want ≥ 10%%", g)
+	}
+	// Tetris's tasks must be faster: it avoids over-allocation.
+	if tet.MeanTaskDuration() >= fair.MeanTaskDuration() {
+		t.Errorf("tetris task duration %.1f ≥ slot-fair %.1f", tet.MeanTaskDuration(), fair.MeanTaskDuration())
+	}
+	// And locality higher.
+	if tet.LocalityFraction() <= fair.LocalityFraction() {
+		t.Errorf("tetris locality %.2f ≤ slot-fair %.2f", tet.LocalityFraction(), fair.LocalityFraction())
+	}
+}
+
+func TestShapeUpperBoundsGains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are slow")
+	}
+	r, fair, tet := shapeRunner(t, 43)
+	ub, err := bound.Run(r.cl, r.wl())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bound must beat the real schedules on both metrics (small
+	// tolerance for the mean-demand substitution).
+	if ub.Makespan > tet.Makespan*1.1 {
+		t.Errorf("upper-bound makespan %.0f worse than tetris %.0f", ub.Makespan, tet.Makespan)
+	}
+	if ub.AvgJCT() > tet.AvgJCT()*1.1 {
+		t.Errorf("upper-bound avg JCT %.0f worse than tetris %.0f", ub.AvgJCT(), tet.AvgJCT())
+	}
+	// And Tetris must realize a substantial fraction of the bound's gain
+	// over the baseline (paper ≈ 90%).
+	gTet := sim.Improvement(fair.AvgJCT(), tet.AvgJCT())
+	gUB := sim.Improvement(fair.AvgJCT(), ub.AvgJCT())
+	if gUB > 5 && gTet < 0.4*gUB {
+		t.Errorf("tetris achieves %.0f%% of the %.0f%% bound gain — want ≥ 40%%", 100*gTet/gUB, gUB)
+	}
+}
+
+func TestShapeFairnessKnobMonotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are slow")
+	}
+	p := Params{Scale: 0.2, Seed: 44}.WithDefaults()
+	r := deploymentRunner(p)
+	fair, err := r.run(scheduler.NewSlotFair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := map[float64]float64{}
+	slow := map[float64]float64{}
+	for _, f := range []float64{0, 0.25, 0.99} {
+		f := f
+		res, err := r.run(tetrisWith(func(c *scheduler.TetrisConfig) { c.Fairness = f }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gain[f] = sim.Improvement(fair.Makespan, res.Makespan)
+		slow[f] = sim.Slowdowns(fair, res).FractionSlowed
+	}
+	// Makespan gains should not improve when moving from the most
+	// efficient knob to the perfectly fair one (paper Fig. 8: makespan
+	// continuously improves as f decreases). Allow slack for noise.
+	if gain[0.99] > gain[0]+8 {
+		t.Errorf("makespan gain at f→1 (%.1f%%) exceeds f=0 (%.1f%%)", gain[0.99], gain[0])
+	}
+	// f=0.25 retains most of the f=0 gain (paper: within a few percent).
+	if gain[0.25] < gain[0]-15 {
+		t.Errorf("f=0.25 gain %.1f%% far below f=0 gain %.1f%%", gain[0.25], gain[0])
+	}
+}
+
+func TestShapeCPUMemOnlyLosesGains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are slow")
+	}
+	_, fair, tet := shapeRunner(t, 45)
+	p := Params{Scale: 0.2, Seed: 45}.WithDefaults()
+	r := deploymentRunner(p)
+	cpumem, err := r.run(tetrisWith(func(c *scheduler.TetrisConfig) { c.CPUMemOnly = true }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gFull := sim.Improvement(fair.AvgJCT(), tet.AvgJCT())
+	gCM := sim.Improvement(fair.AvgJCT(), cpumem.AvgJCT())
+	if gCM >= gFull {
+		t.Errorf("cpu+mem-only gain %.1f%% ≥ full gain %.1f%% — IO awareness should matter (§5.3.1)", gCM, gFull)
+	}
+}
+
+func TestShapeLoadScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are slow")
+	}
+	// Figure 11: gains grow with load. Compare 1× and 3× load.
+	gains := map[int]float64{}
+	for _, machines := range []int{30, 10} {
+		machines := machines
+		wl := trace.GenerateFacebookLike(trace.Config{Seed: 46, NumJobs: 60, NumMachines: machines, ArrivalSpanSec: 3000, RecurringFraction: 0.4})
+		run := func(sch scheduler.Scheduler) *sim.Result {
+			s, err := sim.New(sim.Config{Cluster: cluster.NewFacebook(machines), Workload: wl, Scheduler: sch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		fair := run(scheduler.NewSlotFair())
+		tet := run(newTetris())
+		gains[machines] = sim.Improvement(fair.Makespan, tet.Makespan)
+	}
+	if gains[10] < gains[30]-8 {
+		t.Errorf("makespan gain at 3× load (%.1f%%) well below 1× (%.1f%%) — Figure 11 expects gains to grow with load",
+			gains[10], gains[30])
+	}
+}

@@ -1,0 +1,217 @@
+// Package nm implements the node manager of the distributed prototype
+// (§4.4): it registers its machine with the resource manager, heartbeats
+// periodically with tracker usage reports and task completions, launches
+// the tasks the RM assigns, and enforces their disk and network
+// allocations with token buckets (§4.2). Task execution is emulated —
+// tasks hold their declared resources for their declared (time-
+// compressed) duration — which keeps the control plane real while
+// substituting the data plane (see DESIGN.md §2).
+package nm
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/tokenbucket"
+	"github.com/tetris-sched/tetris/internal/tracker"
+	"github.com/tetris-sched/tetris/internal/wire"
+)
+
+// Config parameterizes a node manager.
+type Config struct {
+	NodeID   int
+	Capacity resources.Vector
+	// RMAddr is the resource manager's address.
+	RMAddr string
+	// Heartbeat interval (default 50 ms).
+	Heartbeat time.Duration
+	// Compression divides task durations: a factor of 50 runs a 100 s
+	// task in 2 s of wall time (default 50).
+	Compression float64
+	// Logger for diagnostics; nil discards.
+	Logger *log.Logger
+}
+
+// Node is a running node manager.
+type Node struct {
+	cfg     Config
+	log     *log.Logger
+	tracker *tracker.Tracker
+	diskR   *tokenbucket.Bucket
+	diskW   *tokenbucket.Bucket
+
+	mu        sync.Mutex
+	completed []wire.TaskCompletion
+	running   int
+	launched  int
+}
+
+// New creates a node manager (not yet running; call Run).
+func New(cfg Config) *Node {
+	if cfg.Heartbeat == 0 {
+		cfg.Heartbeat = 50 * time.Millisecond
+	}
+	if cfg.Compression == 0 {
+		cfg.Compression = 50
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(discard{}, "", 0)
+	}
+	n := &Node{cfg: cfg, log: cfg.Logger, tracker: tracker.New(cfg.Capacity)}
+	// Token buckets police compressed-time byte rates: capacity MB/s ×
+	// compression, bursts of one second's worth.
+	rRate := cfg.Capacity.Get(resources.DiskRead) * cfg.Compression
+	wRate := cfg.Capacity.Get(resources.DiskWrite) * cfg.Compression
+	n.diskR = tokenbucket.New(rRate, rRate/4+1)
+	n.diskW = tokenbucket.New(wRate, wRate/4+1)
+	// The tracker's ramp-up window shrinks with time compression.
+	n.tracker.RampUpSec = 10 / cfg.Compression
+	return n
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Running returns the number of tasks currently executing.
+func (n *Node) Running() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.running
+}
+
+// Launched returns the total number of tasks ever launched.
+func (n *Node) Launched() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.launched
+}
+
+// Run connects to the RM and heartbeats until the context is canceled.
+func (n *Node) Run(ctx context.Context) error {
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", n.cfg.RMAddr)
+	if err != nil {
+		return fmt.Errorf("nm %d: dial: %w", n.cfg.NodeID, err)
+	}
+	defer conn.Close()
+	// Unblock reads when the context is canceled.
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+	defer stop()
+
+	if err := wire.Write(conn, &wire.Message{Type: wire.TypeRegisterNM, RegisterNM: &wire.RegisterNM{
+		NodeID: n.cfg.NodeID, Capacity: n.cfg.Capacity,
+	}}); err != nil {
+		return fmt.Errorf("nm %d: register: %w", n.cfg.NodeID, err)
+	}
+	if _, err := wire.Read(conn); err != nil {
+		return fmt.Errorf("nm %d: register reply: %w", n.cfg.NodeID, err)
+	}
+	n.log.Printf("nm %d: registered with %s", n.cfg.NodeID, n.cfg.RMAddr)
+
+	ticker := time.NewTicker(n.cfg.Heartbeat)
+	defer ticker.Stop()
+	start := time.Now()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+		now := time.Since(start).Seconds() * n.cfg.Compression
+		rep := n.tracker.ReportAt(now)
+		n.mu.Lock()
+		done := n.completed
+		n.completed = nil
+		n.mu.Unlock()
+
+		hb := &wire.NMHeartbeat{
+			NodeID:    n.cfg.NodeID,
+			Used:      rep.Used,
+			Allocated: rep.Allocated,
+			Completed: done,
+		}
+		if err := wire.Write(conn, &wire.Message{Type: wire.TypeNMHeartbeat, NMHeartbeat: hb}); err != nil {
+			return n.ctxErr(ctx, fmt.Errorf("nm %d: heartbeat: %w", n.cfg.NodeID, err))
+		}
+		reply, err := wire.Read(conn)
+		if err != nil {
+			return n.ctxErr(ctx, fmt.Errorf("nm %d: heartbeat reply: %w", n.cfg.NodeID, err))
+		}
+		if reply.Type == wire.TypeError {
+			return fmt.Errorf("nm %d: rm error: %s", n.cfg.NodeID, reply.Error)
+		}
+		if reply.NMReply != nil {
+			for _, l := range reply.NMReply.Launch {
+				n.launch(ctx, l, start)
+			}
+		}
+	}
+}
+
+// ctxErr prefers the context's error when the failure was caused by
+// cancellation (the deadline hook closes the socket).
+func (n *Node) ctxErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
+
+// launch emulates one task: it occupies its declared resources in the
+// tracker for its compressed duration, moving its bytes through the
+// node's token buckets to enforce the allocated rates.
+func (n *Node) launch(ctx context.Context, l wire.TaskLaunch, start time.Time) {
+	now := time.Since(start).Seconds() * n.cfg.Compression
+	n.tracker.Start(l.Task, l.Demand, now)
+	n.mu.Lock()
+	n.running++
+	n.launched++
+	n.mu.Unlock()
+	go func() {
+		t0 := time.Now()
+		wall := time.Duration(l.Duration / n.cfg.Compression * float64(time.Second))
+		n.tracker.Observe(l.Task, l.Demand)
+		// Move the task's bytes through the enforcement buckets in
+		// chunks across its lifetime, keeping each chunk within the
+		// bucket burst size.
+		chunks := 10
+		rBurst, wBurst := n.diskR.Burst(), n.diskW.Burst()
+		for chunks < 1<<16 &&
+			((l.ReadMB > 0 && l.ReadMB/float64(chunks) > rBurst/2) ||
+				(l.WriteMB > 0 && l.WriteMB/float64(chunks) > wBurst/2)) {
+			chunks *= 2
+		}
+		for i := 0; i < chunks; i++ {
+			if l.ReadMB > 0 {
+				if err := n.diskR.Take(l.ReadMB / float64(chunks)); err != nil {
+					n.log.Printf("nm %d: task %v read enforcement: %v", n.cfg.NodeID, l.Task, err)
+				}
+			}
+			if l.WriteMB > 0 {
+				if err := n.diskW.Take(l.WriteMB / float64(chunks)); err != nil {
+					n.log.Printf("nm %d: task %v write enforcement: %v", n.cfg.NodeID, l.Task, err)
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(wall / time.Duration(chunks)):
+			}
+		}
+		n.tracker.Finish(l.Task)
+		n.mu.Lock()
+		n.running--
+		n.completed = append(n.completed, wire.TaskCompletion{
+			Task:     l.Task,
+			Usage:    l.Demand,
+			Duration: time.Since(t0).Seconds() * n.cfg.Compression,
+		})
+		n.mu.Unlock()
+	}()
+}

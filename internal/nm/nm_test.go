@@ -1,0 +1,169 @@
+// End-to-end tests of the distributed prototype: RM, NMs and AMs over
+// loopback TCP with emulated (time-compressed) task execution.
+package nm_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tetris-sched/tetris/internal/am"
+	"github.com/tetris-sched/tetris/internal/estimator"
+	"github.com/tetris-sched/tetris/internal/nm"
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/rm"
+	"github.com/tetris-sched/tetris/internal/scheduler"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+func mkJob(id, nTasks int, cores, mem, durSec float64) *workload.Job {
+	j := &workload.Job{ID: id, Weight: 1}
+	st := &workload.Stage{Name: "map"}
+	for i := 0; i < nTasks; i++ {
+		st.Tasks = append(st.Tasks, &workload.Task{
+			ID:   workload.TaskID{Job: id, Stage: 0, Index: i},
+			Peak: resources.New(cores, mem, 0, 0, 0, 0),
+			Work: workload.Work{CPUSeconds: cores * durSec},
+		})
+	}
+	j.Stages = []*workload.Stage{st}
+	return j
+}
+
+func TestEndToEndSingleJob(t *testing.T) {
+	srv, err := rm.New("127.0.0.1:0", rm.Config{
+		Scheduler: scheduler.NewTetris(scheduler.DefaultTetrisConfig()),
+		Estimator: estimator.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	capVec := resources.New(16, 32, 200, 200, 1000, 1000)
+	var wg sync.WaitGroup
+	nodes := make([]*nm.Node, 2)
+	for i := range nodes {
+		nodes[i] = nm.New(nm.Config{
+			NodeID:      i,
+			Capacity:    capVec,
+			RMAddr:      srv.Addr(),
+			Heartbeat:   20 * time.Millisecond,
+			Compression: 100,
+		})
+		wg.Add(1)
+		go func(n *nm.Node) {
+			defer wg.Done()
+			n.Run(ctx) // exits on cancel
+		}(nodes[i])
+	}
+
+	// 8 tasks × 2 cores × 10 s (0.1 s compressed each), 2 machines.
+	res, err := am.Run(ctx, am.Config{
+		RMAddr: srv.Addr(),
+		Job:    mkJob(0, 8, 2, 4, 10),
+		Poll:   20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("am.Run: %v", err)
+	}
+	if res.JobID != 0 || res.Wall <= 0 {
+		t.Errorf("result = %+v", res)
+	}
+	launched := nodes[0].Launched() + nodes[1].Launched()
+	if launched != 8 {
+		t.Errorf("nodes launched %d tasks, want 8", launched)
+	}
+	cancel()
+	wg.Wait()
+}
+
+func TestEndToEndConcurrentJobs(t *testing.T) {
+	srv, err := rm.New("127.0.0.1:0", rm.Config{
+		Scheduler: scheduler.NewTetris(scheduler.DefaultTetrisConfig()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	capVec := resources.New(16, 32, 200, 200, 1000, 1000)
+	var nmWG sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		n := nm.New(nm.Config{
+			NodeID: i, Capacity: capVec, RMAddr: srv.Addr(),
+			Heartbeat: 20 * time.Millisecond, Compression: 100,
+		})
+		nmWG.Add(1)
+		go func() {
+			defer nmWG.Done()
+			n.Run(ctx)
+		}()
+	}
+
+	var amWG sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		amWG.Add(1)
+		go func(i int) {
+			defer amWG.Done()
+			_, errs[i] = am.Run(ctx, am.Config{
+				RMAddr: srv.Addr(),
+				Job:    mkJob(i, 6, 1, 2, 8),
+				Poll:   20 * time.Millisecond,
+			})
+		}(i)
+	}
+	amWG.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("job %d: %v", i, err)
+		}
+	}
+	cancel()
+	nmWG.Wait()
+}
+
+func TestNMCancellation(t *testing.T) {
+	srv, err := rm.New("127.0.0.1:0", rm.Config{Scheduler: scheduler.NewSlotFair()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	n := nm.New(nm.Config{NodeID: 0, Capacity: resources.New(4, 8, 0, 0, 0, 0), RMAddr: srv.Addr()})
+	done := make(chan error, 1)
+	go func() { done <- n.Run(ctx) }()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Errorf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("NM did not exit on cancel")
+	}
+}
+
+func TestAMRejectsNilJob(t *testing.T) {
+	if _, err := am.Run(context.Background(), am.Config{RMAddr: "127.0.0.1:1"}); err == nil {
+		t.Error("nil job accepted")
+	}
+}
+
+func TestAMDialFailure(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_, err := am.Run(ctx, am.Config{RMAddr: "127.0.0.1:1", Job: mkJob(0, 1, 1, 1, 1)})
+	if err == nil {
+		t.Error("dial to dead RM succeeded")
+	}
+}

@@ -1,0 +1,399 @@
+// Package rm implements the cluster-wide resource manager of the
+// distributed prototype (§4.4): it accepts node-manager registrations
+// and heartbeats, job submissions from job managers, runs the pluggable
+// scheduling policy during NM heartbeat processing (as YARN's RM does —
+// the Table 7 overhead measurement), maintains allocation ledgers, and
+// feeds completed-task measurements to the demand estimator.
+package rm
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/tetris-sched/tetris/internal/estimator"
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/scheduler"
+	"github.com/tetris-sched/tetris/internal/stats"
+	"github.com/tetris-sched/tetris/internal/wire"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// Config parameterizes the resource manager.
+type Config struct {
+	// Scheduler is the placement policy (required).
+	Scheduler scheduler.Scheduler
+	// Estimator supplies demand estimates from completions; nil disables
+	// estimation (declared demands are used as-is).
+	Estimator *estimator.Estimator
+	// Logger for diagnostics; nil discards.
+	Logger *log.Logger
+}
+
+// Server is a running resource manager.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+	log *log.Logger
+
+	mu       sync.Mutex
+	start    time.Time
+	machines map[int]*scheduler.MachineState
+	total    resources.Vector
+	jobs     map[int]*jobInfo
+	pending  map[int][]wire.TaskLaunch // queued launches per node
+	nmTimes  stats.Online
+	amTimes  stats.Online
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+type jobInfo struct {
+	state      *scheduler.JobState
+	launched   map[workload.TaskID]launchRecord
+	finished   bool
+	finishedAt float64
+}
+
+type launchRecord struct {
+	machine int
+	local   resources.Vector
+	remote  []scheduler.RemoteCharge
+}
+
+// New creates a resource manager listening on addr ("host:port"; use
+// "127.0.0.1:0" for an ephemeral port).
+func New(addr string, cfg Config) (*Server, error) {
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("rm: scheduler is required")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rm: listen: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		ln:       ln,
+		log:      cfg.Logger,
+		start:    time.Now(),
+		machines: make(map[int]*scheduler.MachineState),
+		jobs:     make(map[int]*jobInfo),
+		pending:  make(map[int][]wire.TaskLaunch),
+		closed:   make(chan struct{}),
+	}
+	if s.log == nil {
+		s.log = log.New(discard{}, "", 0)
+	}
+	s.wg.Add(1)
+	go s.accept()
+	return s, nil
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down and waits for connection handlers.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// now returns seconds since the server started.
+func (s *Server) now() float64 { return time.Since(s.start).Seconds() }
+
+func (s *Server) accept() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				s.log.Printf("rm: accept: %v", err)
+				return
+			}
+		}
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	for {
+		m, err := wire.Read(conn)
+		if err != nil {
+			return // peer closed or protocol error
+		}
+		var reply *wire.Message
+		switch m.Type {
+		case wire.TypeRegisterNM:
+			reply = s.handleRegisterNM(m.RegisterNM)
+		case wire.TypeNMHeartbeat:
+			reply = s.HandleNMHeartbeat(m.NMHeartbeat)
+		case wire.TypeSubmitJob:
+			reply = s.handleSubmitJob(m.SubmitJob)
+		case wire.TypeAMHeartbeat:
+			reply = s.HandleAMHeartbeat(m.AMHeartbeat)
+		default:
+			reply = &wire.Message{Type: wire.TypeError, Error: fmt.Sprintf("unknown message type %q", m.Type)}
+		}
+		if err := wire.Write(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleRegisterNM(r *wire.RegisterNM) *wire.Message {
+	if r == nil {
+		return errMsg("missing registerNM payload")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.machines[r.NodeID]; ok {
+		// Re-registration (NM restart): keep the ledger.
+		s.machines[r.NodeID].Capacity = r.Capacity
+	} else {
+		s.machines[r.NodeID] = &scheduler.MachineState{ID: r.NodeID, Capacity: r.Capacity}
+		s.recomputeTotal()
+	}
+	s.log.Printf("rm: node %d registered (%v)", r.NodeID, r.Capacity)
+	return &wire.Message{Type: wire.TypeNMReply, NMReply: &wire.NMReply{}}
+}
+
+func (s *Server) recomputeTotal() {
+	var total resources.Vector
+	for _, m := range s.machines {
+		total = total.Add(m.Capacity)
+	}
+	s.total = total
+}
+
+func (s *Server) handleSubmitJob(r *wire.SubmitJob) *wire.Message {
+	if r == nil || r.Job == nil {
+		return errMsg("missing job payload")
+	}
+	if err := r.Job.Validate(); err != nil {
+		return errMsg(fmt.Sprintf("invalid job: %v", err))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[r.Job.ID]; ok {
+		return errMsg(fmt.Sprintf("job %d already submitted", r.Job.ID))
+	}
+	if r.Job.Weight <= 0 {
+		r.Job.Weight = 1
+	}
+	s.jobs[r.Job.ID] = &jobInfo{
+		state:    &scheduler.JobState{Job: r.Job, Status: workload.NewStatus(r.Job)},
+		launched: make(map[workload.TaskID]launchRecord),
+	}
+	s.log.Printf("rm: job %d submitted (%d tasks)", r.Job.ID, r.Job.NumTasks())
+	return &wire.Message{Type: wire.TypeAMReply, AMReply: &wire.AMReply{JobID: r.Job.ID, Total: r.Job.NumTasks()}}
+}
+
+// HandleNMHeartbeat processes one node heartbeat: absorbs the usage
+// report and completions, runs a scheduling round (allocation happens on
+// NM heartbeats, as in YARN), and returns the node's queued launches.
+// Exported for benchmarking the Table-7 overhead without sockets.
+func (s *Server) HandleNMHeartbeat(hb *wire.NMHeartbeat) *wire.Message {
+	if hb == nil {
+		return errMsg("missing nmHeartbeat payload")
+	}
+	t0 := time.Now()
+	s.mu.Lock()
+	defer func() {
+		s.nmTimes.Add(time.Since(t0).Seconds())
+		s.mu.Unlock()
+	}()
+	m, ok := s.machines[hb.NodeID]
+	if !ok {
+		return errMsg(fmt.Sprintf("unregistered node %d", hb.NodeID))
+	}
+	m.Reported = hb.Used
+	now := s.now()
+	for _, c := range hb.Completed {
+		s.completeTask(c, now)
+	}
+	s.runScheduler()
+	launch := s.pending[hb.NodeID]
+	delete(s.pending, hb.NodeID)
+	return &wire.Message{Type: wire.TypeNMReply, NMReply: &wire.NMReply{Launch: launch}}
+}
+
+func (s *Server) completeTask(c wire.TaskCompletion, now float64) {
+	ji, ok := s.jobs[c.Task.Job]
+	if !ok {
+		return
+	}
+	rec, ok := ji.launched[c.Task]
+	if !ok {
+		return
+	}
+	delete(ji.launched, c.Task)
+	ji.state.Alloc = ji.state.Alloc.Sub(rec.local).Max(resources.Vector{})
+	if m := s.machines[rec.machine]; m != nil {
+		m.Allocated = m.Allocated.Sub(rec.local).Max(resources.Vector{})
+	}
+	for _, rc := range rec.remote {
+		if m := s.machines[rc.Machine]; m != nil {
+			m.Allocated = m.Allocated.Sub(rc.Charge).Max(resources.Vector{})
+		}
+	}
+	ji.state.Status.MarkDone(c.Task, now)
+	if s.cfg.Estimator != nil {
+		s.cfg.Estimator.Observe(ji.state.Job, c.Task.Stage, c.Usage, c.Duration)
+	}
+	if ji.state.Status.Finished() {
+		ji.finished = true
+		ji.finishedAt = now
+		s.log.Printf("rm: job %d finished at %.2fs", c.Task.Job, now)
+	}
+}
+
+// runScheduler executes one scheduling round and queues the resulting
+// launches. Caller holds s.mu.
+func (s *Server) runScheduler() {
+	if len(s.machines) == 0 {
+		return
+	}
+	v := &scheduler.View{
+		Time:  s.now(),
+		Total: s.total,
+	}
+	// Deterministic machine order.
+	maxID := -1
+	for id := range s.machines {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	for id := 0; id <= maxID; id++ {
+		if m, ok := s.machines[id]; ok {
+			v.Machines = append(v.Machines, m)
+		} else {
+			// Dense machine slice is required by the scheduler's indexing;
+			// fill holes with zero-capacity placeholders.
+			v.Machines = append(v.Machines, &scheduler.MachineState{ID: id})
+		}
+	}
+	for id := 0; id <= maxJobID(s.jobs); id++ {
+		if ji, ok := s.jobs[id]; ok && !ji.finished {
+			v.Jobs = append(v.Jobs, ji.state)
+		}
+	}
+	if len(v.Jobs) == 0 {
+		return
+	}
+	if s.cfg.Estimator != nil {
+		est := s.cfg.Estimator
+		v.EstimateDemand = func(j *scheduler.JobState, t *workload.Task) (resources.Vector, float64) {
+			peak, dur, _ := est.Estimate(j.Job, t.ID.Stage, t.Peak, t.PeakDuration())
+			// Never let estimates exceed the biggest machine: a wild
+			// over-estimate would make the task unplaceable forever.
+			return peak.Min(s.largestMachine()), dur
+		}
+	}
+	for _, a := range s.cfg.Scheduler.Schedule(v) {
+		ji := s.jobs[a.JobID]
+		ji.state.Status.MarkRunning(a.Task.ID)
+		ji.state.Alloc = ji.state.Alloc.Add(a.Local)
+		s.machines[a.Machine].Allocated = s.machines[a.Machine].Allocated.Add(a.Local)
+		for _, rc := range a.Remote {
+			s.machines[rc.Machine].Allocated = s.machines[rc.Machine].Allocated.Add(rc.Charge)
+		}
+		ji.launched[a.Task.ID] = launchRecord{machine: a.Machine, local: a.Local, remote: a.Remote}
+		s.pending[a.Machine] = append(s.pending[a.Machine], wire.TaskLaunch{
+			Task:     a.Task.ID,
+			JobID:    a.JobID,
+			Demand:   a.Task.Peak,
+			Duration: a.Task.PeakDuration(),
+			ReadMB:   a.Task.TotalInputMB(),
+			WriteMB:  a.Task.Work.WriteMB,
+		})
+	}
+}
+
+func (s *Server) largestMachine() resources.Vector {
+	var biggest resources.Vector
+	for _, m := range s.machines {
+		biggest = biggest.Max(m.Capacity)
+	}
+	return biggest
+}
+
+func maxJobID(jobs map[int]*jobInfo) int {
+	max := -1
+	for id := range jobs {
+		if id > max {
+			max = id
+		}
+	}
+	return max
+}
+
+// HandleAMHeartbeat reports job progress. Exported for benchmarking.
+func (s *Server) HandleAMHeartbeat(hb *wire.AMHeartbeat) *wire.Message {
+	if hb == nil {
+		return errMsg("missing amHeartbeat payload")
+	}
+	t0 := time.Now()
+	s.mu.Lock()
+	defer func() {
+		s.amTimes.Add(time.Since(t0).Seconds())
+		s.mu.Unlock()
+	}()
+	ji, ok := s.jobs[hb.JobID]
+	if !ok {
+		return errMsg(fmt.Sprintf("unknown job %d", hb.JobID))
+	}
+	return &wire.Message{Type: wire.TypeAMReply, AMReply: &wire.AMReply{
+		JobID:      hb.JobID,
+		Done:       ji.state.Status.DoneTasks(),
+		Total:      ji.state.Job.NumTasks(),
+		Finished:   ji.finished,
+		FinishedAt: ji.finishedAt,
+	}}
+}
+
+// HeartbeatStats returns the mean and max observed processing times (in
+// seconds) of NM and AM heartbeats — the Table 7 measurement.
+func (s *Server) HeartbeatStats() (nmMean, nmMax, amMean, amMax float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nmTimes.Mean(), s.nmTimes.Max(), s.amTimes.Mean(), s.amTimes.Max()
+}
+
+// RegisterMachine adds a machine directly (without a socket); used by
+// benchmarks and tests that drive handlers in-process.
+func (s *Server) RegisterMachine(id int, capacity resources.Vector) {
+	s.handleRegisterNM(&wire.RegisterNM{NodeID: id, Capacity: capacity})
+}
+
+// SubmitJob registers a job directly (without a socket).
+func (s *Server) SubmitJob(j *workload.Job) error {
+	reply := s.handleSubmitJob(&wire.SubmitJob{Job: j})
+	if reply.Type == wire.TypeError {
+		return fmt.Errorf("rm: %s", reply.Error)
+	}
+	return nil
+}
+
+func errMsg(text string) *wire.Message {
+	return &wire.Message{Type: wire.TypeError, Error: text}
+}

@@ -1,0 +1,128 @@
+package scheduler
+
+import (
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// DRF implements Dominant Resource Fairness (Ghodsi et al., NSDI'11) as
+// deployed with YARN: progressive filling that repeatedly offers
+// resources to the job whose dominant-resource share is smallest. The
+// production implementation considers only CPU and memory (§5.1); disk
+// and network are neither checked nor charged, so DRF can over-allocate
+// them — one of the two pathologies Tetris removes.
+type DRF struct {
+	// Kinds are the resource dimensions DRF allocates. Default (via
+	// NewDRF): CPU and memory.
+	Kinds []resources.Kind
+}
+
+// NewDRF returns a DRF scheduler over CPU and memory.
+func NewDRF() *DRF {
+	return &DRF{Kinds: []resources.Kind{resources.CPU, resources.Memory}}
+}
+
+// NewDRFWithNetwork returns the extended DRF of the paper's Figure 1
+// discussion, which also allocates network bandwidth.
+func NewDRFWithNetwork() *DRF {
+	return &DRF{Kinds: []resources.Kind{resources.CPU, resources.Memory, resources.NetIn, resources.NetOut}}
+}
+
+// Name implements Scheduler.
+func (d *DRF) Name() string { return "drf" }
+
+// project zeroes every dimension not allocated by this DRF instance.
+func (d *DRF) project(v resources.Vector) resources.Vector {
+	var out resources.Vector
+	for _, k := range d.Kinds {
+		out = out.With(k, v.Get(k))
+	}
+	return out
+}
+
+// Schedule implements Scheduler via progressive filling: while any job's
+// next task fits somewhere, give the job with the smallest dominant share
+// its next task.
+func (d *DRF) Schedule(v *View) []Assignment {
+	jobs := withRunnable(v)
+	if len(jobs) == 0 {
+		return nil
+	}
+	free := make([]resources.Vector, len(v.Machines))
+	for i, m := range v.Machines {
+		free[i] = d.project(m.FreeAllocated())
+	}
+	share := make(map[int]float64, len(jobs))
+	alloc := make(map[int]resources.Vector, len(jobs))
+	fetch := make(map[int]*pendingFetcher, len(jobs))
+	blocked := make(map[int]bool)
+	for _, j := range jobs {
+		alloc[j.Job.ID] = d.project(j.Alloc)
+		share[j.Job.ID] = dominantShare(j, v.Total, d.Kinds)
+		fetch[j.Job.ID] = newPendingFetcher(j)
+	}
+	var out []Assignment
+
+	for {
+		// Pick the unblocked job with the smallest dominant share.
+		var pick *JobState
+		for _, j := range jobs {
+			id := j.Job.ID
+			if blocked[id] || fetch[id].Peek() == nil {
+				continue
+			}
+			if pick == nil || share[id] < share[pick.Job.ID] ||
+				(share[id] == share[pick.Job.ID] && id < pick.Job.ID) {
+				pick = j
+			}
+		}
+		if pick == nil {
+			break
+		}
+		id := pick.Job.ID
+		task := fetch[id].Peek()
+		peak, _ := v.Demand(pick, task)
+		demand := d.project(peak)
+		mid := d.pickMachine(task, demand, free)
+		if mid < 0 {
+			blocked[id] = true
+			continue
+		}
+		fetch[id].Consume()
+		free[mid] = free[mid].Sub(demand).Max(resources.Vector{})
+		alloc[id] = alloc[id].Add(demand)
+		// Recompute the dominant share.
+		s := 0.0
+		for _, k := range d.Kinds {
+			if c := v.Total.Get(k); c > 0 {
+				if v := alloc[id].Get(k) / c; v > s {
+					s = v
+				}
+			}
+		}
+		share[id] = s
+		out = append(out, Assignment{JobID: id, Task: task, Machine: mid, Local: demand})
+	}
+	return out
+}
+
+// pickMachine prefers a machine holding task input, else the machine with
+// the most total free resources, provided the demand fits.
+func (d *DRF) pickMachine(task *workload.Task, demand resources.Vector, free []resources.Vector) int {
+	for _, b := range task.Inputs {
+		if b.Machine >= 0 && b.Machine < len(free) && demand.FitsIn(free[b.Machine]) {
+			return b.Machine
+		}
+	}
+	best := -1
+	bestFree := -1.0
+	for i, f := range free {
+		if !demand.FitsIn(f) {
+			continue
+		}
+		if v := f.Sum(); v > bestFree {
+			best, bestFree = i, v
+		}
+	}
+	return best
+}

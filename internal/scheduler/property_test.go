@@ -1,0 +1,96 @@
+package scheduler
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// TestRandomizedSchedulingInvariants drives every scheduler over many
+// random cluster/job configurations and checks the universal invariants:
+// each task assigned at most once, assignments reference valid machines,
+// Tetris never over-allocates its ledger, and memory charges cover task
+// peaks for every policy.
+func TestRandomizedSchedulingInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		nMach := 1 + r.Intn(6)
+		capVec := resources.New(
+			float64(4+r.Intn(29)), float64(8+r.Intn(57)),
+			float64(50+r.Intn(351)), float64(50+r.Intn(351)),
+			float64(100+r.Intn(9901)), float64(100+r.Intn(9901)))
+		var jobs []*JobState
+		nJobs := 1 + r.Intn(5)
+		for jid := 0; jid < nJobs; jid++ {
+			j := &workload.Job{ID: jid, Weight: 1}
+			st := &workload.Stage{Name: "s"}
+			nTasks := 1 + r.Intn(30)
+			for i := 0; i < nTasks; i++ {
+				peak := resources.New(
+					0.1+r.Float64()*8, 0.1+r.Float64()*8,
+					r.Float64()*100, r.Float64()*100,
+					r.Float64()*500, r.Float64()*200)
+				task := &workload.Task{
+					ID:   workload.TaskID{Job: jid, Stage: 0, Index: i},
+					Peak: peak,
+					Work: workload.Work{CPUSeconds: 1 + r.Float64()*100},
+				}
+				if r.Float64() < 0.5 {
+					task.Inputs = []workload.InputBlock{{Machine: r.Intn(nMach), SizeMB: 10 + r.Float64()*1000}}
+				}
+				st.Tasks = append(st.Tasks, task)
+			}
+			j.Stages = []*workload.Stage{st}
+			jobs = append(jobs, &JobState{Job: j, Status: workload.NewStatus(j)})
+		}
+		v := mkView(nMach, capVec, jobs...)
+
+		cfg := DefaultTetrisConfig()
+		cfg.Fairness = []float64{0, 0.25, 0.5, 0.9}[r.Intn(4)]
+		cfg.Barrier = []float64{0.8, 0.9, 1}[r.Intn(3)]
+		for _, sch := range []Scheduler{NewTetris(cfg), NewSlotFair(), NewDRF()} {
+			asgs := sch.Schedule(v)
+			seen := map[workload.TaskID]bool{}
+			perMachine := make([]resources.Vector, nMach)
+			for _, a := range asgs {
+				if a.Machine < 0 || a.Machine >= nMach {
+					t.Fatalf("trial %d %s: machine %d out of range", trial, sch.Name(), a.Machine)
+				}
+				if seen[a.Task.ID] {
+					t.Fatalf("trial %d %s: task %v assigned twice", trial, sch.Name(), a.Task.ID)
+				}
+				seen[a.Task.ID] = true
+				if !a.Local.NonNegative() {
+					t.Fatalf("trial %d %s: negative local charge %v", trial, sch.Name(), a.Local)
+				}
+				perMachine[a.Machine] = perMachine[a.Machine].Add(a.Local)
+				for _, rc := range a.Remote {
+					perMachine[rc.Machine] = perMachine[rc.Machine].Add(rc.Charge)
+				}
+				// Every policy must charge at least the task's memory
+				// (that is what keeps physical memory safe).
+				if a.Local.Get(resources.Memory) < a.Task.Peak.Get(resources.Memory)-1e-9 {
+					t.Fatalf("trial %d %s: memory charge %v below task peak %v",
+						trial, sch.Name(), a.Local.Get(resources.Memory), a.Task.Peak.Get(resources.Memory))
+				}
+			}
+			// Tetris's full multi-resource ledger never exceeds capacity.
+			if sch.Name() == "tetris" {
+				for m := 0; m < nMach; m++ {
+					if !perMachine[m].FitsIn(capVec) {
+						t.Fatalf("trial %d tetris: machine %d over-allocated: %v > %v",
+							trial, m, perMachine[m], capVec)
+					}
+				}
+			}
+			// Memory specifically never exceeds capacity for anyone.
+			for m := 0; m < nMach; m++ {
+				if perMachine[m].Get(resources.Memory) > capVec.Get(resources.Memory)+1e-9 {
+					t.Fatalf("trial %d %s: machine %d memory over-committed", trial, sch.Name(), m)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package scheduler implements the cluster scheduling policies the paper
+// builds and compares: the Tetris multi-resource packing scheduler (§3)
+// with its fairness and barrier knobs, the slot-based fair ("capacity")
+// scheduler, Dominant Resource Fairness, a multi-resource SRTF, and the
+// aggregate upper-bound construction of §2.2.3.
+//
+// Schedulers are pure policies: given a View of cluster and job state
+// they return task→machine Assignments. The simulator (internal/sim) and
+// the distributed resource manager (internal/rm) both drive them.
+package scheduler
+
+import (
+	"sort"
+
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// MachineState is the scheduler-visible state of one machine.
+type MachineState struct {
+	ID       int
+	Capacity resources.Vector
+	// Allocated is the sum of the demands this scheduler charged for
+	// tasks currently placed on (or serving remote reads from) the
+	// machine. Each policy charges according to its own resource model,
+	// which is exactly how over-allocation arises for the baselines.
+	Allocated resources.Vector
+	// Reported is the resource tracker's current usage observation,
+	// including non-job background activity (ingestion, evacuation) and
+	// ramp-up allowances. Only Tetris consults it (§4.1).
+	Reported resources.Vector
+}
+
+// FreeAllocated returns capacity − Allocated, clamped at zero.
+func (m *MachineState) FreeAllocated() resources.Vector {
+	return m.Capacity.Sub(m.Allocated).Max(resources.Vector{})
+}
+
+// FreePacking returns the packing headroom Tetris uses: capacity minus
+// the component-wise max of Allocated and Reported, clamped at zero.
+func (m *MachineState) FreePacking() resources.Vector {
+	return m.Capacity.Sub(m.Allocated.Max(m.Reported)).Max(resources.Vector{})
+}
+
+// JobState is the scheduler-visible state of one active job.
+type JobState struct {
+	Job    *workload.Job
+	Status *workload.Status
+	// Alloc is the sum of local demands this scheduler charged for the
+	// job's currently running tasks, across all machines. Fairness
+	// bookkeeping (slot counts, dominant shares) derives from it.
+	Alloc resources.Vector
+}
+
+// View is the cluster snapshot a scheduler decides over.
+type View struct {
+	Time     float64
+	Machines []*MachineState
+	// Jobs lists active (arrived, unfinished) jobs in ascending ID order.
+	Jobs []*JobState
+	// Total is the cluster-wide capacity (cached by the caller).
+	Total resources.Vector
+	// EstimateDemand optionally overrides the demands schedulers see, to
+	// model imperfect knowledge (§4.1). When nil, true peaks are used.
+	EstimateDemand func(j *JobState, t *workload.Task) (peak resources.Vector, duration float64)
+}
+
+// Demand returns the scheduler-visible peak demand and duration estimate
+// for a task.
+func (v *View) Demand(j *JobState, t *workload.Task) (resources.Vector, float64) {
+	if v.EstimateDemand != nil {
+		return v.EstimateDemand(j, t)
+	}
+	return t.Peak, t.PeakDuration()
+}
+
+// DemandPeak returns only the scheduler-visible peak demand (cheaper than
+// Demand when the duration is not needed).
+func (v *View) DemandPeak(j *JobState, t *workload.Task) resources.Vector {
+	if v.EstimateDemand != nil {
+		peak, _ := v.EstimateDemand(j, t)
+		return peak
+	}
+	return t.Peak
+}
+
+// RemoteCharge is a resource charge at a remote source machine.
+type RemoteCharge struct {
+	Machine int
+	Charge  resources.Vector
+}
+
+// Assignment is one task placement decision.
+type Assignment struct {
+	JobID   int
+	Task    *workload.Task
+	Machine int
+	// Local is the demand charged against the target machine under the
+	// deciding scheduler's resource model.
+	Local resources.Vector
+	// Remote charges resources at other machines (disk read + network out
+	// at the sources of remote input). Only Tetris populates it.
+	Remote []RemoteCharge
+}
+
+// Scheduler is a scheduling policy.
+type Scheduler interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Schedule returns the assignments to start now. Implementations must
+	// not mutate the View; the caller applies assignments and re-invokes
+	// as state changes.
+	Schedule(v *View) []Assignment
+}
+
+// EffectiveDemand adjusts a task's peak demand vector for placement on
+// machine m (§3.2 "incorporating task placement"): network-in is needed
+// only when some input is remote — sized at the rate the remote flow can
+// actually achieve (FlowCapMBps); local disk-read only when some input is
+// local; network-out is charged at the source machines of remote reads,
+// never at the task's own machine.
+func EffectiveDemand(peak resources.Vector, t *workload.Task, m int) resources.Vector {
+	d := peak.With(resources.NetOut, 0)
+	if t.RemoteInputMB(m) == 0 {
+		d = d.With(resources.NetIn, 0)
+	} else {
+		d = d.With(resources.NetIn, 8*t.FlowCapMBps())
+	}
+	if t.TotalInputMB()-t.RemoteInputMB(m) == 0 {
+		d = d.With(resources.DiskRead, 0)
+	}
+	return d
+}
+
+// RemoteCharges computes the per-source-machine resource charges of
+// placing task t on machine m: each remote source serves its share of the
+// read, at proportional disk-read and network-out rates bounded by the
+// flow's achievable byte rate. Returns nil when all input is local. The
+// result groups repeated source machines.
+func RemoteCharges(peak resources.Vector, t *workload.Task, m int) []RemoteCharge {
+	remote := t.RemoteInputMB(m)
+	if remote == 0 {
+		return nil
+	}
+	flowCap := t.FlowCapMBps()
+	var charges []RemoteCharge
+	for _, b := range t.Inputs {
+		if b.Machine < 0 || b.Machine == m || b.SizeMB == 0 {
+			continue
+		}
+		frac := b.SizeMB / remote
+		c := resources.Vector{}.
+			With(resources.DiskRead, flowCap*frac).
+			With(resources.NetOut, 8*flowCap*frac)
+		merged := false
+		for i := range charges {
+			if charges[i].Machine == b.Machine {
+				charges[i].Charge = charges[i].Charge.Add(c)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			charges = append(charges, RemoteCharge{Machine: b.Machine, Charge: c})
+		}
+	}
+	return charges
+}
+
+// RemoteFeasible reports whether every remote source machine has the
+// disk-read and network-out headroom the placement needs (§3.2: "Tetris
+// checks before placing a task on a machine that sufficient disk read and
+// network-out bandwidth are available at each of the remote machines").
+func RemoteFeasible(v *View, charges []RemoteCharge) bool {
+	for _, rc := range charges {
+		if rc.Machine >= len(v.Machines) {
+			return false
+		}
+		if !rc.Charge.FitsIn(v.Machines[rc.Machine].FreePacking()) {
+			return false
+		}
+	}
+	return true
+}
+
+// fairnessEntry pairs a job with its distance below fair share.
+type fairnessEntry struct {
+	job     *JobState
+	deficit float64
+}
+
+// sortByDeficit returns the given jobs sorted by how far they are below
+// their fair share (most deprived first). share computes a job's current
+// share in [0,1]; fair share is weight-proportional over all active jobs
+// in the view.
+func sortByDeficit(v *View, jobs []*JobState, share func(*JobState) float64) []*JobState {
+	var totalWeight float64
+	for _, j := range v.Jobs {
+		totalWeight += j.Job.Weight
+	}
+	entries := make([]fairnessEntry, 0, len(jobs))
+	for _, j := range jobs {
+		fair := 0.0
+		if totalWeight > 0 {
+			fair = j.Job.Weight / totalWeight
+		}
+		entries = append(entries, fairnessEntry{job: j, deficit: fair - share(j)})
+	}
+	sort.SliceStable(entries, func(a, b int) bool {
+		if entries[a].deficit != entries[b].deficit {
+			return entries[a].deficit > entries[b].deficit
+		}
+		return entries[a].job.Job.ID < entries[b].job.Job.ID
+	})
+	out := make([]*JobState, len(entries))
+	for i, e := range entries {
+		out[i] = e.job
+	}
+	return out
+}
+
+// withRunnable filters the view's jobs to those with runnable tasks.
+func withRunnable(v *View) []*JobState {
+	var out []*JobState
+	for _, j := range v.Jobs {
+		if j.Status.HasRunnable() {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// pendingFetcher iterates a job's runnable tasks lazily in (stage, index)
+// order, fetching in geometrically growing chunks so a round that places
+// k tasks costs O(k), not O(pending). Within a round the underlying
+// Status does not change, so refetches are consistent.
+type pendingFetcher struct {
+	j     *JobState
+	stage int
+	buf   []*workload.Task
+	idx   int // next unconsumed within buf
+	taken int // consumed from the current stage
+	cur   *workload.Task
+}
+
+func newPendingFetcher(j *JobState) *pendingFetcher { return &pendingFetcher{j: j} }
+
+// Peek returns the next runnable task without consuming it (nil if none).
+func (f *pendingFetcher) Peek() *workload.Task {
+	if f.cur != nil {
+		return f.cur
+	}
+	for f.stage < len(f.j.Job.Stages) {
+		if f.idx < len(f.buf) {
+			f.cur = f.buf[f.idx]
+			f.idx++
+			f.taken++
+			return f.cur
+		}
+		want := f.taken*2 + 16
+		refetched := f.j.Status.AppendPending(f.stage, want, f.buf[:0])
+		if len(refetched) > f.taken {
+			f.buf = refetched[f.taken:]
+			f.idx = 0
+			continue
+		}
+		f.stage++
+		f.buf = f.buf[:0]
+		f.idx, f.taken = 0, 0
+	}
+	return nil
+}
+
+// Consume advances past the task returned by Peek.
+func (f *pendingFetcher) Consume() { f.cur = nil }
+
+// dominantShare returns the job's dominant resource share over the given
+// kinds (all kinds when kinds is nil).
+func dominantShare(j *JobState, total resources.Vector, kinds []resources.Kind) float64 {
+	if kinds == nil {
+		_, s := resources.DominantShare(j.Alloc, total)
+		return s
+	}
+	share := 0.0
+	for _, k := range kinds {
+		if c := total.Get(k); c > 0 {
+			if s := j.Alloc.Get(k) / c; s > share {
+				share = s
+			}
+		}
+	}
+	return share
+}

@@ -1,0 +1,135 @@
+package scheduler
+
+import (
+	"math"
+
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// SlotFair models the Hadoop Fair/Capacity schedulers the paper compares
+// against (§2.1, §5.1): resources are divided into memory-defined slots
+// and slots are offered to the job furthest below its fair slot share.
+// Only memory is checked — CPU, disk and network are neither allocated
+// nor limited, which is exactly the over-allocation pathology the paper
+// demonstrates. Tasks are preferentially placed local to their input.
+type SlotFair struct {
+	// SlotGB is the slot size in GB of memory (the paper uses the
+	// Facebook cluster's value; we default to 2 GB).
+	SlotGB float64
+}
+
+// NewSlotFair returns a slot-based fair scheduler with 2 GB slots.
+func NewSlotFair() *SlotFair { return &SlotFair{SlotGB: 2} }
+
+// Name implements Scheduler.
+func (s *SlotFair) Name() string { return "slot-fair" }
+
+// slotsOf converts a memory amount to (whole) slots, rounding up — the
+// static slot sizing whose rounding is the fragmentation of §2.1.
+func (s *SlotFair) slotsOf(memGB float64) int {
+	if memGB <= 0 {
+		return 1 // every task occupies at least one slot
+	}
+	return int(math.Ceil(memGB / s.SlotGB))
+}
+
+// Schedule implements Scheduler: repeatedly give the next free slot(s) to
+// the job occupying the fewest slots relative to its fair share.
+func (s *SlotFair) Schedule(v *View) []Assignment {
+	jobs := withRunnable(v)
+	if len(jobs) == 0 {
+		return nil
+	}
+	// Free slots per machine under this scheduler's own ledger (memory
+	// charged in slot multiples).
+	freeSlots := make([]int, len(v.Machines))
+	totalFree := 0
+	for i, m := range v.Machines {
+		total := int(m.Capacity.Get(resources.Memory) / s.SlotGB)
+		used := int(math.Round(m.Allocated.Get(resources.Memory) / s.SlotGB))
+		freeSlots[i] = total - used
+		if freeSlots[i] < 0 {
+			freeSlots[i] = 0
+		}
+		totalFree += freeSlots[i]
+	}
+	if totalFree == 0 {
+		return nil
+	}
+	var totalWeight float64
+	for _, j := range v.Jobs {
+		totalWeight += j.Job.Weight
+	}
+	var totalSlots float64
+	for _, m := range v.Machines {
+		totalSlots += math.Floor(m.Capacity.Get(resources.Memory) / s.SlotGB)
+	}
+	if totalSlots == 0 {
+		return nil
+	}
+	slotsUsed := make(map[int]float64, len(jobs))
+	fetch := make(map[int]*pendingFetcher, len(jobs))
+	blocked := make(map[int]bool)
+	for _, j := range jobs {
+		slotsUsed[j.Job.ID] = j.Alloc.Get(resources.Memory) / s.SlotGB
+		fetch[j.Job.ID] = newPendingFetcher(j)
+	}
+
+	var out []Assignment
+	for totalFree > 0 {
+		// Job furthest below its fair slot share with a placeable task.
+		var pick *JobState
+		bestDeficit := math.Inf(-1)
+		for _, j := range jobs {
+			id := j.Job.ID
+			if blocked[id] || fetch[id].Peek() == nil {
+				continue
+			}
+			fair := j.Job.Weight / totalWeight
+			deficit := fair - slotsUsed[id]/totalSlots
+			if deficit > bestDeficit {
+				bestDeficit = deficit
+				pick = j
+			}
+		}
+		if pick == nil {
+			break
+		}
+		id := pick.Job.ID
+		task := fetch[id].Peek()
+		peak, _ := v.Demand(pick, task)
+		need := s.slotsOf(peak.Get(resources.Memory))
+		mid := s.pickMachine(task, freeSlots, need)
+		if mid < 0 {
+			// Task too big for any machine right now.
+			blocked[id] = true
+			continue
+		}
+		fetch[id].Consume()
+		freeSlots[mid] -= need
+		totalFree -= need
+		slotsUsed[id] += float64(need)
+		// Charge memory only: that is all a slot scheduler allocates.
+		local := resources.Vector{}.With(resources.Memory, float64(need)*s.SlotGB)
+		out = append(out, Assignment{JobID: id, Task: task, Machine: mid, Local: local})
+	}
+	return out
+}
+
+// pickMachine prefers a machine holding the task's input with enough free
+// slots; otherwise the machine with the most free slots.
+func (s *SlotFair) pickMachine(task *workload.Task, freeSlots []int, need int) int {
+	for _, b := range task.Inputs {
+		if b.Machine >= 0 && b.Machine < len(freeSlots) && freeSlots[b.Machine] >= need {
+			return b.Machine
+		}
+	}
+	best, bestFree := -1, 0
+	for i, f := range freeSlots {
+		if f >= need && f > bestFree {
+			best, bestFree = i, f
+		}
+	}
+	return best
+}

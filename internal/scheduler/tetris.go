@@ -1,0 +1,650 @@
+package scheduler
+
+import (
+	"math"
+
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// TetrisConfig parameterizes the Tetris scheduler. The zero value is not
+// useful; start from DefaultTetrisConfig.
+type TetrisConfig struct {
+	// Fairness knob f ∈ [0,1): when resources free up, only the
+	// ⌈(1−f)·|J|⌉ jobs furthest from fair share are considered (§3.4).
+	// f=0 is the most efficient (and most unfair) schedule; the paper's
+	// default operating point is 0.25.
+	Fairness float64
+	// Barrier knob b ∈ [0,1]: once a b fraction of a stage preceding a
+	// barrier has finished, its remaining tasks get preference (§3.5).
+	// b=1 disables the preference; the paper recommends ≈ 0.9.
+	Barrier float64
+	// RemotePenalty multiplies the alignment score of a placement that
+	// reads input remotely (§3.2; the paper uses 10%, i.e. score × 0.9).
+	RemotePenalty float64
+	// EpsilonMultiplier m scales ε = m·ā/p̄ in the combined score
+	// a − ε·p (§3.3.2). m=0 is packing-only; m=1 is the default.
+	EpsilonMultiplier float64
+	// Scorer computes alignment; nil means CosineScorer.
+	Scorer Scorer
+	// SRTFOnly disables the alignment term, scheduling purely by
+	// remaining work (the ablation of §5.3.1).
+	SRTFOnly bool
+	// HotspotThreshold: machines whose reported usage exceeds this
+	// fraction of capacity on any dimension receive no new tasks (the
+	// ingestion-avoidance behaviour of Figure 6). Zero disables.
+	HotspotThreshold float64
+	// CPUMemOnly restricts Tetris to CPU and memory, ignoring disk and
+	// network like the baselines — the §5.3.1 ablation that attributes
+	// roughly two thirds of the gains to avoiding IO over-allocation.
+	CPUMemOnly bool
+	// DisableRemoteCharges skips the remote-source feasibility checks and
+	// charges (§3.2). Diagnostic ablation only.
+	DisableRemoteCharges bool
+	// StarvationSec enables the reservation-based starvation prevention
+	// the paper leaves to future work (§3.5): a runnable task that has
+	// not fit anywhere for this many seconds gets a machine reserved —
+	// the machine accepts no other new tasks until the starved task fits.
+	// Zero disables (the paper's deployment did not need it).
+	StarvationSec float64
+}
+
+// DefaultTetrisConfig returns the paper's default operating point:
+// f=0.25, b=0.9, 10% remote penalty, ε=ā/p̄, cosine alignment.
+func DefaultTetrisConfig() TetrisConfig {
+	return TetrisConfig{
+		Fairness:          0.25,
+		Barrier:           0.9,
+		RemotePenalty:     0.1,
+		EpsilonMultiplier: 1,
+		Scorer:            CosineScorer{},
+	}
+}
+
+// Tetris is the multi-resource packing scheduler of §3. It combines the
+// alignment (packing) heuristic, the multi-resource SRTF job score, the
+// fairness knob and barrier-aware preference. A Tetris instance keeps
+// incremental state across Schedule calls (score caches and a locality
+// index); use one instance per cluster.
+type Tetris struct {
+	cfg TetrisConfig
+	// stageScore caches the average per-task SRTF score of each (job,
+	// stage): Σ-normalized-demand × duration, averaged over the stage's
+	// tasks. Remaining work is then remainingTasks × avg per stage.
+	stageScore map[[2]int]float64
+	// locals indexes tasks by the machines holding their input blocks.
+	// Entries are dropped lazily once their task is no longer pending;
+	// localsCursor rotates each machine's scan start so blocked entries
+	// at the front cannot starve the rest of the list.
+	locals       map[int][]locEntry
+	localsCursor map[int]int
+	indexedJobs  map[int]bool
+	// Starvation prevention (§3.5 extension): when a runnable task has
+	// waited past StarvationSec, a machine is reserved for it.
+	firstSeen map[*workload.Task]float64
+	reserved  map[int]*workload.Task // machine → starved task holding it
+}
+
+type locEntry struct {
+	jobID int
+	task  *workload.Task
+}
+
+// NewTetris creates a Tetris scheduler with the given configuration.
+func NewTetris(cfg TetrisConfig) *Tetris {
+	if cfg.Scorer == nil {
+		cfg.Scorer = CosineScorer{}
+	}
+	if cfg.Barrier <= 0 {
+		cfg.Barrier = 1 // disabled
+	}
+	return &Tetris{
+		cfg:          cfg,
+		stageScore:   make(map[[2]int]float64),
+		locals:       make(map[int][]locEntry),
+		localsCursor: make(map[int]int),
+		indexedJobs:  make(map[int]bool),
+		firstSeen:    make(map[*workload.Task]float64),
+		reserved:     make(map[int]*workload.Task),
+	}
+}
+
+// Name implements Scheduler.
+func (t *Tetris) Name() string { return "tetris" }
+
+// Config returns the scheduler's configuration.
+func (t *Tetris) Config() TetrisConfig { return t.cfg }
+
+// taskSRTFScore is one task's contribution to the job's remaining-work
+// score: duration × Σ of capacity-normalized demands (§3.3.1).
+func taskSRTFScore(peak resources.Vector, duration float64, total resources.Vector) float64 {
+	return duration * peak.Normalize(total).Sum()
+}
+
+// remainingWork returns the multi-resource SRTF score of a job: the total
+// resource×time consumption of its not-yet-finished tasks.
+func (t *Tetris) remainingWork(v *View, j *JobState) float64 {
+	p := 0.0
+	for si := range j.Job.Stages {
+		rem := j.Status.RemainingInStage(si)
+		if rem == 0 {
+			continue
+		}
+		key := [2]int{j.Job.ID, si}
+		avg, ok := t.stageScore[key]
+		if !ok {
+			sum := 0.0
+			for _, task := range j.Job.Stages[si].Tasks {
+				peak, dur := v.Demand(j, task)
+				sum += taskSRTFScore(peak, dur, v.Total)
+			}
+			avg = sum / float64(len(j.Job.Stages[si].Tasks))
+			t.stageScore[key] = avg
+		}
+		p += avg * float64(rem)
+	}
+	return p
+}
+
+// indexJob adds a newly seen job's input block locations to the locality
+// index.
+func (t *Tetris) indexJob(j *JobState) {
+	if t.indexedJobs[j.Job.ID] {
+		return
+	}
+	t.indexedJobs[j.Job.ID] = true
+	for _, st := range j.Job.Stages {
+		for _, task := range st.Tasks {
+			seen := map[int]bool{}
+			for _, b := range task.Inputs {
+				if b.Machine >= 0 && !seen[b.Machine] {
+					seen[b.Machine] = true
+					t.locals[b.Machine] = append(t.locals[b.Machine], locEntry{j.Job.ID, task})
+				}
+			}
+		}
+	}
+}
+
+// candidate is one feasible (task, machine) option under evaluation.
+type candidate struct {
+	job    *JobState
+	task   *workload.Task
+	demand resources.Vector
+	remote []RemoteCharge
+	align  float64
+	inTail bool
+}
+
+// stageRun is the per-round view of one job stage's pending tasks. Tasks
+// within a stage are statistically similar (§4.1), so per machine we
+// evaluate only a few of them (plus any with input local to the machine)
+// instead of all — the same aggregation the real system's asks perform.
+type stageRun struct {
+	job      *JobState
+	stage    int
+	tasks    []*workload.Task // fetched pending prefix
+	cursor   int              // first possibly-untaken index
+	pending  int              // total pending at round start
+	takenCnt int
+	inTail   bool
+	eligible bool
+}
+
+// ensureFetched extends the fetched prefix when the round has consumed
+// most of it and more pending tasks exist.
+func (sr *stageRun) ensureFetched() {
+	if len(sr.tasks) >= sr.pending {
+		return
+	}
+	want := len(sr.tasks)*2 + 8
+	if want > sr.pending {
+		want = sr.pending
+	}
+	sr.tasks = sr.job.Status.AppendPending(sr.stage, want, sr.tasks[:0])
+}
+
+// roundState is built once per Schedule invocation.
+type roundState struct {
+	stages   []*stageRun
+	byJob    map[int]*JobState
+	eligible map[int]bool
+	taken    map[*workload.Task]bool
+	// chargeCache and demandCache memoize RemoteCharges and
+	// EffectiveDemand per task for "no local block" placements —
+	// identical for every machine holding none of the task's input,
+	// which is the overwhelmingly common case.
+	chargeCache map[*workload.Task][]RemoteCharge
+	demandCache map[*workload.Task]resources.Vector
+}
+
+func (rs *roundState) eligibleJob(id int) bool { return rs.eligible[id] }
+
+func (t *Tetris) buildRound(v *View, sorted []*JobState, eligible map[int]bool) *roundState {
+	rs := &roundState{
+		byJob:       make(map[int]*JobState, len(v.Jobs)),
+		eligible:    eligible,
+		taken:       make(map[*workload.Task]bool),
+		chargeCache: make(map[*workload.Task][]RemoteCharge),
+		demandCache: make(map[*workload.Task]resources.Vector),
+	}
+	for _, j := range v.Jobs {
+		rs.byJob[j.Job.ID] = j
+	}
+	const initialFetch = 4
+	for _, j := range sorted {
+		for si := range j.Job.Stages {
+			pending := j.Status.PendingInStage(si)
+			if pending == 0 || !j.Status.StageReady(si) {
+				continue
+			}
+			sr := &stageRun{
+				job:      j,
+				stage:    si,
+				pending:  pending,
+				inTail:   j.Status.InBarrierTail(workload.TaskID{Job: j.Job.ID, Stage: si}, t.cfg.Barrier),
+				eligible: eligible[j.Job.ID],
+			}
+			n := initialFetch
+			if n > pending {
+				n = pending
+			}
+			sr.tasks = j.Status.AppendPending(si, n, nil)
+			rs.stages = append(rs.stages, sr)
+		}
+	}
+	return rs
+}
+
+// Schedule implements Scheduler: for every machine with headroom it
+// repeatedly picks the feasible task with the highest combined score
+// (alignment − ε·remaining-work), honoring the fairness and barrier
+// knobs, until nothing more fits (§3.2–§3.5).
+func (t *Tetris) Schedule(v *View) []Assignment {
+	var withRunnable []*JobState
+	for _, j := range v.Jobs {
+		t.indexJob(j)
+		if j.Status.HasRunnable() {
+			withRunnable = append(withRunnable, j)
+		}
+	}
+	if len(withRunnable) == 0 {
+		return nil
+	}
+	// Fairness restriction: consider only the (1−f) fraction of jobs
+	// furthest from their fair (dominant-resource) share.
+	sorted := sortByDeficit(v, withRunnable, func(j *JobState) float64 {
+		return dominantShare(j, v.Total, nil)
+	})
+	eligibleCount := int(math.Ceil((1 - t.cfg.Fairness) * float64(len(sorted))))
+	if eligibleCount < 1 {
+		eligibleCount = 1
+	}
+	eligible := make(map[int]bool, eligibleCount)
+	for _, j := range sorted[:eligibleCount] {
+		eligible[j.Job.ID] = true
+	}
+
+	// Job remaining-work scores and their mean, computed once per round.
+	pScore := make(map[int]float64, len(sorted))
+	var pSum float64
+	for _, j := range sorted {
+		p := t.remainingWork(v, j)
+		pScore[j.Job.ID] = p
+		pSum += p
+	}
+	pMean := pSum / float64(len(sorted))
+
+	// Per-round free-resource ledger.
+	free := make([]resources.Vector, len(v.Machines))
+	for i, m := range v.Machines {
+		free[i] = m.FreePacking()
+		if t.cfg.HotspotThreshold > 0 {
+			for _, k := range resources.Kinds() {
+				if c := m.Capacity.Get(k); c > 0 && m.Reported.Get(k) > t.cfg.HotspotThreshold*c {
+					free[i] = resources.Vector{} // hot machine: place nothing
+					break
+				}
+			}
+		}
+	}
+	rs := t.buildRound(v, sorted, eligible)
+	var out []Assignment
+
+	// Starvation prevention: retire stale reservations, try to place
+	// reserved tasks first, and keep reserved machines closed otherwise.
+	if t.cfg.StarvationSec > 0 {
+		out = append(out, t.serveReservations(v, free, rs)...)
+	}
+
+	for _, m := range v.Machines {
+		if t.reserved[m.ID] != nil {
+			continue // machine held for a starved task
+		}
+		for {
+			cands := t.collectCandidates(v, m.ID, free, rs)
+			if len(cands) == 0 {
+				break
+			}
+			// ε normalization: mean alignment of current candidates over
+			// mean remaining work of active jobs (§3.3.2).
+			var aSum float64
+			for i := range cands {
+				aSum += cands[i].align
+			}
+			aMean := aSum / float64(len(cands))
+			eps := 0.0
+			if pMean > 0 {
+				eps = t.cfg.EpsilonMultiplier * aMean / pMean
+			}
+
+			best := -1
+			bestScore := math.Inf(-1)
+			for i := range cands {
+				score := cands[i].align - eps*pScore[cands[i].job.Job.ID]
+				if t.cfg.SRTFOnly {
+					score = -pScore[cands[i].job.Job.ID]
+				}
+				if score > bestScore {
+					bestScore = score
+					best = i
+				}
+			}
+			c := cands[best]
+			out = append(out, Assignment{
+				JobID:   c.job.Job.ID,
+				Task:    c.task,
+				Machine: m.ID,
+				Local:   c.demand,
+				Remote:  c.remote,
+			})
+			rs.taken[c.task] = true
+			free[m.ID] = free[m.ID].Sub(c.demand).Max(resources.Vector{})
+			for _, rc := range c.remote {
+				free[rc.Machine] = free[rc.Machine].Sub(rc.Charge).Max(resources.Vector{})
+			}
+		}
+	}
+	if t.cfg.StarvationSec > 0 {
+		t.detectStarvation(v, rs)
+	}
+	return out
+}
+
+// serveReservations places starved tasks on their reserved machines when
+// they finally fit, and clears reservations whose task is gone. Caller
+// must have StarvationSec > 0.
+func (t *Tetris) serveReservations(v *View, free []resources.Vector, rs *roundState) []Assignment {
+	var out []Assignment
+	for mid, task := range t.reserved {
+		j, ok := rs.byJob[task.ID.Job]
+		if !ok || j.Status.State(task.ID) != workload.Pending {
+			delete(t.reserved, mid) // placed elsewhere or job finished
+			continue
+		}
+		if mid >= len(v.Machines) {
+			delete(t.reserved, mid)
+			continue
+		}
+		peak := v.DemandPeak(j, task)
+		d := EffectiveDemand(peak, task, mid)
+		if !d.FitsIn(free[mid]) {
+			continue // keep waiting; machine stays closed
+		}
+		remote := RemoteCharges(peak, task, mid)
+		feasible := true
+		for _, rc := range remote {
+			if !rc.Charge.FitsIn(free[rc.Machine]) {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		out = append(out, Assignment{JobID: task.ID.Job, Task: task, Machine: mid, Local: d, Remote: remote})
+		rs.taken[task] = true
+		free[mid] = free[mid].Sub(d).Max(resources.Vector{})
+		for _, rc := range remote {
+			free[rc.Machine] = free[rc.Machine].Sub(rc.Charge).Max(resources.Vector{})
+		}
+		delete(t.reserved, mid)
+		delete(t.firstSeen, task)
+	}
+	return out
+}
+
+// detectStarvation records how long each stage's head task has been
+// runnable and reserves a machine for at most one newly starved task per
+// round. Caller must have StarvationSec > 0.
+func (t *Tetris) detectStarvation(v *View, rs *roundState) {
+	alreadyReserved := make(map[*workload.Task]bool, len(t.reserved))
+	for _, task := range t.reserved {
+		alreadyReserved[task] = true
+	}
+	for _, sr := range rs.stages {
+		if sr.cursor >= len(sr.tasks) {
+			continue
+		}
+		task := sr.tasks[sr.cursor]
+		if rs.taken[task] || alreadyReserved[task] {
+			delete(t.firstSeen, task)
+			continue
+		}
+		seen, ok := t.firstSeen[task]
+		if !ok {
+			t.firstSeen[task] = v.Time
+			continue
+		}
+		if v.Time-seen < t.cfg.StarvationSec {
+			continue
+		}
+		// Starved: reserve the unreserved machine with the most capacity
+		// headroom for it.
+		best, bestFree := -1, -1.0
+		for _, m := range v.Machines {
+			if t.reserved[m.ID] != nil {
+				continue
+			}
+			if f := m.Capacity.Sum(); f > bestFree {
+				best, bestFree = m.ID, f
+			}
+		}
+		if best >= 0 {
+			t.reserved[best] = task
+			return // at most one new reservation per round
+		}
+	}
+}
+
+// collectCandidates gathers the feasible tasks for machine mid: per
+// (job, stage) the first few untaken pending tasks, plus pending tasks
+// with input local to the machine. If any candidate is in a barrier tail
+// (§3.5), only tail candidates are returned; tail preference bypasses the
+// fairness restriction, since it takes only a small amount of resources.
+func (t *Tetris) collectCandidates(v *View, mid int, free []resources.Vector, rs *roundState) []candidate {
+	avail := free[mid]
+	if avail.IsZero() {
+		return nil
+	}
+	capacity := v.Machines[mid].Capacity
+	var cands []candidate
+	anyTail := false
+	var seen map[*workload.Task]bool // allocated lazily; locals may duplicate
+
+	consider := func(j *JobState, task *workload.Task, inTail bool) {
+		if seen[task] {
+			return
+		}
+		peak := v.DemandPeak(j, task)
+		affinity := task.HasLocalAffinity(mid)
+		var d resources.Vector
+		if affinity {
+			d = EffectiveDemand(peak, task, mid)
+		} else {
+			var ok bool
+			d, ok = rs.demandCache[task]
+			if !ok {
+				d = EffectiveDemand(peak, task, -1)
+				rs.demandCache[task] = d
+			}
+		}
+		if t.cfg.CPUMemOnly {
+			d = resources.Vector{}.
+				With(resources.CPU, d.Get(resources.CPU)).
+				With(resources.Memory, d.Get(resources.Memory))
+		}
+		if !d.FitsIn(avail) {
+			return
+		}
+		var remote []RemoteCharge
+		if !t.cfg.CPUMemOnly && !t.cfg.DisableRemoteCharges && task.RemoteInputMB(mid) > 0 {
+			if affinity {
+				remote = RemoteCharges(peak, task, mid) // partial locality: machine-specific
+			} else {
+				var ok bool
+				remote, ok = rs.chargeCache[task]
+				if !ok {
+					remote = RemoteCharges(peak, task, -1)
+					rs.chargeCache[task] = remote
+				}
+			}
+			for _, rc := range remote {
+				if !rc.Charge.FitsIn(free[rc.Machine]) {
+					return
+				}
+			}
+		}
+		if seen == nil {
+			seen = make(map[*workload.Task]bool, 8)
+		}
+		seen[task] = true
+		align := t.cfg.Scorer.Score(d, avail, capacity)
+		if remote != nil {
+			align *= 1 - t.cfg.RemotePenalty
+		}
+		cands = append(cands, candidate{job: j, task: task, demand: d, remote: remote, align: align, inTail: inTail})
+		if inTail {
+			anyTail = true
+		}
+	}
+
+	// Per stage: gather up to perStage *feasible* candidates, examining
+	// at most scanBudget pending tasks. Tasks within a stage have similar
+	// demands but different input locations, so an infeasible head (its
+	// source machines busy) must not block the rest of the stage.
+	const (
+		perStage   = 3
+		scanBudget = 16
+	)
+	for _, sr := range rs.stages {
+		if !sr.eligible && !sr.inTail {
+			continue
+		}
+		if sr.takenCnt >= sr.pending {
+			continue
+		}
+		added, scanned := 0, 0
+		for i := sr.cursor; added < perStage && scanned < scanBudget; i++ {
+			if i >= len(sr.tasks) {
+				if len(sr.tasks) >= sr.pending {
+					break
+				}
+				sr.ensureFetched()
+				if i >= len(sr.tasks) {
+					break
+				}
+			}
+			task := sr.tasks[i]
+			if rs.taken[task] {
+				if i == sr.cursor {
+					sr.cursor++
+				}
+				continue
+			}
+			scanned++
+			before := len(cands)
+			consider(sr.job, task, sr.inTail)
+			if len(cands) > before {
+				added++
+			}
+		}
+	}
+	// Tasks with input blocks on this machine (bounded scan with lazy
+	// compaction: entries whose task left the pending state are dropped).
+	t.scanLocals(v, mid, rs, consider)
+
+	if anyTail {
+		tail := cands[:0]
+		for _, c := range cands {
+			if c.inTail {
+				tail = append(tail, c)
+			}
+		}
+		return tail
+	}
+	return cands
+}
+
+// scanLocals walks the locality index of machine mid, feeding pending
+// local tasks of eligible jobs to consider. Entries whose task is no
+// longer pending (or whose job is gone) are compacted away. The scan
+// starts at a per-machine rotating cursor so blocked entries at the list
+// head cannot permanently hide the rest.
+func (t *Tetris) scanLocals(v *View, mid int, rs *roundState, consider func(*JobState, *workload.Task, bool)) {
+	entries := t.locals[mid]
+	n := len(entries)
+	if n == 0 {
+		return
+	}
+	const (
+		maxConsider = 8
+		maxScan     = 64
+	)
+	start := t.localsCursor[mid] % n
+	considered, scanned := 0, 0
+	dead := 0
+	for off := 0; off < n && considered < maxConsider && scanned < maxScan; off++ {
+		i := (start + off) % n
+		e := entries[i]
+		if e.task == nil {
+			continue // already tombstoned this round
+		}
+		scanned++
+		j, ok := rs.byJob[e.jobID]
+		if !ok {
+			// Job no longer active. Jobs are indexed only after arrival,
+			// so an absent job has finished and never comes back: drop.
+			entries[i].task = nil
+			dead++
+			continue
+		}
+		st := j.Status
+		id := e.task.ID
+		if st.State(id) != workload.Pending {
+			entries[i].task = nil // running or done: never pending again
+			dead++
+			continue
+		}
+		if !st.StageReady(id.Stage) || rs.taken[e.task] {
+			continue
+		}
+		inTail := st.InBarrierTail(id, t.cfg.Barrier)
+		if !inTail && !rs.eligibleJob(e.jobID) {
+			continue // fairness restriction applies to non-tail tasks
+		}
+		consider(j, e.task, inTail)
+		considered++
+	}
+	t.localsCursor[mid] = start + scanned + dead
+	if dead > 0 {
+		// Compact tombstones, preserving order.
+		out := entries[:0]
+		for _, e := range entries {
+			if e.task != nil {
+				out = append(out, e)
+			}
+		}
+		t.locals[mid] = out
+	}
+}

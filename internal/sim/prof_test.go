@@ -1,0 +1,24 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/tetris-sched/tetris/internal/cluster"
+	"github.com/tetris-sched/tetris/internal/scheduler"
+	"github.com/tetris-sched/tetris/internal/trace"
+)
+
+func TestProfileWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling fixture")
+	}
+	wl := trace.GenerateSuite(trace.Config{Seed: 11, NumJobs: 60, NumMachines: 100, ArrivalSpanSec: 2000})
+	t.Logf("tasks: %d", wl.NumTasks())
+	cl := cluster.NewFacebook(100)
+	s, _ := New(Config{Cluster: cl, Workload: wl, Scheduler: scheduler.NewTetris(scheduler.DefaultTetrisConfig()), MaxTime: 1e7})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("makespan %.0f avgJCT %.0f", res.Makespan, res.AvgJCT())
+}

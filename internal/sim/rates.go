@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"github.com/tetris-sched/tetris/internal/resources"
+)
+
+// recomputeRates performs the fluid-sharing step: every machine resource
+// is proportionally shared among the components demanding it, and each
+// remote flow runs at the minimum of its granted rates along the path
+// (source disk, source NIC-out, rack uplinks, destination NIC-in).
+func (s *Sim) recomputeRates() {
+	n := len(s.machines)
+	var (
+		cpuD    = make([]float64, n)
+		diskRD  = make([]float64, n)
+		diskWD  = make([]float64, n)
+		netInD  = make([]float64, n) // Mbps
+		netOutD = make([]float64, n)
+	)
+	numRacks := s.cfg.Cluster.NumRacks()
+	rackOutD := make([]float64, numRacks)
+	rackInD := make([]float64, numRacks)
+
+	// Pass 1: demand sums (background activity demands too).
+	for m := range s.machines {
+		bg := s.background[m]
+		cpuD[m] = bg.Get(resources.CPU)
+		diskRD[m] = bg.Get(resources.DiskRead)
+		diskWD[m] = bg.Get(resources.DiskWrite)
+		netInD[m] = bg.Get(resources.NetIn)
+		netOutD[m] = bg.Get(resources.NetOut)
+	}
+	for _, rt := range s.running {
+		m := rt.machine
+		for i := range rt.comps {
+			c := &rt.comps[i]
+			if c.remaining <= 0 {
+				continue
+			}
+			switch c.kind {
+			case compCPU:
+				cpuD[m] += c.demand
+			case compLocalRead:
+				diskRD[m] += c.demand
+			case compWrite:
+				diskWD[m] += c.demand
+			case compFlow:
+				diskRD[c.src] += c.demand      // MB/s read at the source disk
+				netOutD[c.src] += c.demand * 8 // Mbps out of the source
+				netInD[m] += c.demand * 8      // Mbps into the destination
+				if numRacks > 1 && s.cfg.Cluster.CrossRackMbps > 0 {
+					sr := s.cfg.Cluster.Machines[c.src].Rack
+					dr := s.cfg.Cluster.Machines[m].Rack
+					if sr != dr {
+						rackOutD[sr] += c.demand * 8
+						rackInD[dr] += c.demand * 8
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: per-resource scale factors. CPU time-shares cleanly;
+	// disk and network lose effective capacity under over-subscription
+	// (incast, seek overheads): see Config.InterferenceAlpha.
+	alpha := s.cfg.interferenceAlpha()
+	floorFrac := s.cfg.interferenceFloor()
+	cpuScale := func(capacity, demand float64) float64 {
+		if demand <= capacity || demand == 0 {
+			return 1
+		}
+		return capacity / demand
+	}
+	scale := func(capacity, demand float64) float64 {
+		if demand <= capacity || demand == 0 {
+			return 1
+		}
+		k := demand / capacity
+		eff := capacity / (1 + alpha*(k-1))
+		// Interference degrades throughput, it doesn't halt it: the floor
+		// bounds the damage.
+		if floor := floorFrac * capacity; eff < floor {
+			eff = floor
+		}
+		return eff / demand
+	}
+	var (
+		cpuS    = make([]float64, n)
+		diskRS  = make([]float64, n)
+		diskWS  = make([]float64, n)
+		netInS  = make([]float64, n)
+		netOutS = make([]float64, n)
+	)
+	for m, ms := range s.machines {
+		cpuS[m] = cpuScale(ms.Capacity.Get(resources.CPU), cpuD[m])
+		diskRS[m] = scale(ms.Capacity.Get(resources.DiskRead), diskRD[m])
+		diskWS[m] = scale(ms.Capacity.Get(resources.DiskWrite), diskWD[m])
+		netInS[m] = scale(ms.Capacity.Get(resources.NetIn), netInD[m])
+		netOutS[m] = scale(ms.Capacity.Get(resources.NetOut), netOutD[m])
+	}
+	rackOutS := make([]float64, numRacks)
+	rackInS := make([]float64, numRacks)
+	for r := 0; r < numRacks; r++ {
+		rackOutS[r], rackInS[r] = 1, 1
+		if s.cfg.Cluster.CrossRackMbps > 0 {
+			rackOutS[r] = scale(s.cfg.Cluster.CrossRackMbps, rackOutD[r])
+			rackInS[r] = scale(s.cfg.Cluster.CrossRackMbps, rackInD[r])
+		}
+	}
+
+	// Pass 3: grant rates.
+	for _, rt := range s.running {
+		m := rt.machine
+		for i := range rt.comps {
+			c := &rt.comps[i]
+			if c.remaining <= 0 {
+				c.rate = 0
+				continue
+			}
+			switch c.kind {
+			case compCPU:
+				c.rate = c.demand * cpuS[m]
+			case compLocalRead:
+				c.rate = c.demand * diskRS[m]
+			case compWrite:
+				c.rate = c.demand * diskWS[m]
+			case compFlow:
+				f := min3(diskRS[c.src], netOutS[c.src], netInS[m])
+				if numRacks > 1 && s.cfg.Cluster.CrossRackMbps > 0 {
+					sr := s.cfg.Cluster.Machines[c.src].Rack
+					dr := s.cfg.Cluster.Machines[m].Rack
+					if sr != dr {
+						if rackOutS[sr] < f {
+							f = rackOutS[sr]
+						}
+						if rackInS[dr] < f {
+							f = rackInS[dr]
+						}
+					}
+				}
+				c.rate = c.demand * f
+			}
+		}
+	}
+}
+
+func min3(a, b, c float64) float64 {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// rampUpSec is the resource tracker's allowance window (§4.1): a newly
+// placed task is charged its full allocated demand, decaying linearly to
+// its observed usage over this many seconds. After the window, unused
+// allocation is reclaimed and offered to new tasks — the statistical
+// multiplexing the paper's tracker provides.
+const rampUpSec = 10
+
+// updateReported refreshes every machine's tracker-style state from the
+// current fluid rates plus background activity:
+//
+//   - Reported is the observed usage (rates; memory at peak occupancy)
+//     including background activity;
+//   - Allocated is the *effective* charge the scheduler's ledger holds
+//     per task: the component-wise max of observed usage (masked to the
+//     dimensions the scheduler charged, so each policy keeps its own
+//     resource model) and the original charge scaled by the §4.1 ramp-up
+//     decay. This reclamation of unused allocation after the ramp-up
+//     window is the resource tracker's statistical-multiplexing role.
+//     Memory never decays: it is occupancy, and every policy keeps its
+//     memory charge (slot rounding included) for the task's whole life.
+func (s *Sim) updateReported() {
+	for m := range s.machines {
+		s.machines[m].Reported = s.background[m]
+		s.machines[m].Allocated = resources.Vector{}
+	}
+	for _, rt := range s.running {
+		m := rt.machine
+		use := resources.Vector{}.With(resources.Memory, rt.task.Peak.Get(resources.Memory))
+		var srcActual map[int]resources.Vector
+		for i := range rt.comps {
+			c := &rt.comps[i]
+			if c.remaining <= 0 {
+				continue
+			}
+			switch c.kind {
+			case compCPU:
+				use = use.With(resources.CPU, use.Get(resources.CPU)+c.rate)
+			case compLocalRead:
+				use = use.With(resources.DiskRead, use.Get(resources.DiskRead)+c.rate)
+			case compWrite:
+				use = use.With(resources.DiskWrite, use.Get(resources.DiskWrite)+c.rate)
+			case compFlow:
+				use = use.With(resources.NetIn, use.Get(resources.NetIn)+c.rate*8)
+				srcUse := resources.Vector{}.
+					With(resources.DiskRead, c.rate).
+					With(resources.NetOut, c.rate*8)
+				s.machines[c.src].Reported = s.machines[c.src].Reported.Add(srcUse)
+				if srcActual == nil {
+					srcActual = make(map[int]resources.Vector, 4)
+				}
+				srcActual[c.src] = srcActual[c.src].Add(srcUse)
+			}
+		}
+		s.machines[m].Reported = s.machines[m].Reported.Add(use)
+
+		// Effective ledger charge: observed usage projected onto the
+		// dimensions this scheduler charged, topped up by the decaying
+		// allowance of the original allocation.
+		decay := 1 - (s.clock-rt.started)/rampUpSec
+		if decay < 0 {
+			decay = 0
+		}
+		charge := use.MaskBy(rt.local).Max(rt.local.Scale(decay))
+		// Memory stays reserved at the charged amount for the task's
+		// whole life (slot rounding included, for the slot scheduler).
+		if mem := rt.local.Get(resources.Memory); mem > charge.Get(resources.Memory) {
+			charge = charge.With(resources.Memory, mem)
+		}
+		s.machines[m].Allocated = s.machines[m].Allocated.Add(charge)
+		for _, rc := range rt.remote {
+			eff := srcActual[rc.Machine].MaskBy(rc.Charge).Max(rc.Charge.Scale(decay))
+			s.machines[rc.Machine].Allocated = s.machines[rc.Machine].Allocated.Add(eff)
+		}
+	}
+}
+
+// machineDemand returns the Σ of scheduler-relevant peak demands exerted
+// on machine m right now (tasks placed there plus flows served from
+// there, plus background). Unlike usage it can exceed capacity — that is
+// the over-allocation the paper's Figure 5/Table 6 report.
+func (s *Sim) machineDemand(m int) resources.Vector {
+	d := s.background[m]
+	for _, rt := range s.byMach[m] {
+		for i := range rt.comps {
+			c := &rt.comps[i]
+			if c.remaining <= 0 {
+				continue
+			}
+			switch c.kind {
+			case compCPU:
+				d = d.With(resources.CPU, d.Get(resources.CPU)+c.demand)
+			case compLocalRead:
+				d = d.With(resources.DiskRead, d.Get(resources.DiskRead)+c.demand)
+			case compWrite:
+				d = d.With(resources.DiskWrite, d.Get(resources.DiskWrite)+c.demand)
+			case compFlow:
+				d = d.With(resources.NetIn, d.Get(resources.NetIn)+c.demand*8)
+			}
+		}
+		d = d.With(resources.Memory, d.Get(resources.Memory)+rt.task.Peak.Get(resources.Memory))
+	}
+	// Flows served from m by tasks running elsewhere.
+	for _, rt := range s.running {
+		if rt.machine == m {
+			continue
+		}
+		for i := range rt.comps {
+			c := &rt.comps[i]
+			if c.kind == compFlow && c.src == m && c.remaining > 0 {
+				d = d.With(resources.DiskRead, d.Get(resources.DiskRead)+c.demand)
+				d = d.With(resources.NetOut, d.Get(resources.NetOut)+c.demand*8)
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,647 @@
+// Package sim is a discrete-event, fluid-flow cluster simulator in the
+// style of the paper's trace-driven simulator (§5.1): it replays a
+// workload's job arrivals, task resource demands, input sizes and
+// locations on a modeled cluster, under any scheduling policy.
+//
+// Tasks progress multiple work components in parallel (compute, local
+// reads, writes, and one remote flow per source machine — the terms of
+// eqn. 5). Disk and network capacity on every machine is proportionally
+// shared among the components demanding it, so when a scheduler
+// over-allocates a resource the affected tasks slow down and hold their
+// other resources longer — the central pathology the paper measures.
+// Memory is never physically over-committed (every policy charges at
+// least the task's memory). CPU time-shares like disk and network.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/tetris-sched/tetris/internal/cluster"
+	"github.com/tetris-sched/tetris/internal/eventq"
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/scheduler"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// Activity is non-job cluster activity (data ingestion, evacuation,
+// re-replication — §4.3) occupying resources on one machine for a time
+// interval. The resource tracker reports it; schedulers that listen
+// (Tetris) steer around it.
+type Activity struct {
+	Machine    int
+	Start, End float64
+	Usage      resources.Vector
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Cluster   *cluster.Cluster
+	Workload  *workload.Workload
+	Scheduler scheduler.Scheduler
+	// Activities lists background activity intervals.
+	Activities []Activity
+	// SampleEvery records cluster-level utilization samples at this
+	// period in seconds (0 disables sampling).
+	SampleEvery float64
+	// TrackShares accumulates the per-job relative integral unfairness
+	// data of §5.3.2.
+	TrackShares bool
+	// EstimateDemand, when set, is the demand oracle schedulers see
+	// instead of true peaks (models §4.1 estimation error).
+	EstimateDemand func(j *scheduler.JobState, t *workload.Task) (resources.Vector, float64)
+	// MaxTime aborts runs that exceed this simulated time (0 = no limit).
+	MaxTime float64
+	// HeartbeatSec batches scheduling rounds: resources freed between
+	// heartbeats are offered together, as node-manager heartbeats do in
+	// the real system (§3.5, §5.2.2). Negative disables batching
+	// (schedule at every event); zero uses the 1 s default.
+	HeartbeatSec float64
+	// RecordTasks keeps a per-task placement record in the result
+	// (machine, start, finish) — used by placement-level analyses.
+	RecordTasks bool
+	// InterferenceAlpha models the super-linear cost of over-subscribing
+	// disk and network (§2.1: "when tasks contend for a resource, the
+	// total effective throughput is lowered due to systemic reasons such
+	// as buffer overflows on switches (incast), disk seek overheads"):
+	// when demand exceeds capacity by factor k > 1, effective capacity is
+	// capacity / (1 + α·(k−1)). Zero uses the default of 0.5; negative
+	// disables interference (pure work-conserving sharing).
+	InterferenceAlpha float64
+	// InterferenceFloor bounds how much throughput interference can
+	// destroy: effective capacity never drops below floor × capacity.
+	// Zero uses the default of 0.25; negative means no floor.
+	InterferenceFloor float64
+	// TaskFailureProb is the probability that a task fails on completion
+	// and must re-execute from scratch (the paper's simulator replays
+	// the production traces' failure probabilities; §5.1). Failed
+	// attempts count toward TaskDurations; the task returns to the
+	// pending pool.
+	TaskFailureProb float64
+	// FailureSeed drives the failure coin flips (default 1).
+	FailureSeed int64
+	// CheckInvariants makes the simulator verify, at every sampling or
+	// scheduling instant, that no machine's memory is over-committed and
+	// that no ledger is negative. For tests; costs a pass over machines.
+	CheckInvariants bool
+}
+
+// interferenceAlpha resolves the configured α.
+func (c Config) interferenceAlpha() float64 {
+	switch {
+	case c.InterferenceAlpha < 0:
+		return 0
+	case c.InterferenceAlpha == 0:
+		return 0.5
+	default:
+		return c.InterferenceAlpha
+	}
+}
+
+// interferenceFloor resolves the configured floor.
+func (c Config) interferenceFloor() float64 {
+	switch {
+	case c.InterferenceFloor < 0:
+		return 0
+	case c.InterferenceFloor == 0:
+		return 0.25
+	default:
+		return c.InterferenceFloor
+	}
+}
+
+// event kinds on the queue.
+type evKind int
+
+const (
+	evArrival evKind = iota
+	evActivityStart
+	evActivityEnd
+	evSample
+	evSchedule
+)
+
+type event struct {
+	kind evKind
+	idx  int // job index or activity index
+}
+
+// compKind identifies a work component of a running task.
+type compKind int
+
+const (
+	compCPU compKind = iota
+	compLocalRead
+	compWrite
+	compFlow // remote read from src
+)
+
+type component struct {
+	kind      compKind
+	remaining float64 // core-seconds (compCPU) or MB (others)
+	demand    float64 // peak rate: cores or MB/s
+	src       int     // source machine for compFlow
+	rate      float64 // current granted rate (same units as demand)
+}
+
+type runningTask struct {
+	job     *jobRun
+	task    *workload.Task
+	machine int
+	started float64
+	comps   []component
+	local   resources.Vector         // scheduler's local charge
+	remote  []scheduler.RemoteCharge // scheduler's remote charges
+	idx     int                      // position in Sim.running (swap-removed)
+}
+
+type jobRun struct {
+	state   *scheduler.JobState
+	arrived bool
+	// truePeaks is the sum of actual peak demands of the job's running
+	// tasks (scheduler-independent), for fairness accounting.
+	truePeaks resources.Vector
+	// unfairness accumulators (§5.3.2).
+	integral float64
+}
+
+// Sim is one simulation run. Create with New, run with Run.
+type Sim struct {
+	cfg          Config
+	clock        float64
+	queue        eventq.Queue[event]
+	jobs         []*jobRun
+	active       []*jobRun // arrived, unfinished
+	machines     []*scheduler.MachineState
+	total        resources.Vector
+	running      []*runningTask
+	byMach       [][]*runningTask // running tasks per machine
+	background   []resources.Vector
+	lastDone     float64 // time of the last task completion (the makespan)
+	nextSchedOK  float64 // earliest time the next scheduling round may run
+	schedPending bool    // an evSchedule event is queued
+	failRand     *rand.Rand
+	res          *Result
+}
+
+// New validates the configuration and prepares a run.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Cluster == nil || cfg.Workload == nil || cfg.Scheduler == nil {
+		return nil, fmt.Errorf("sim: cluster, workload and scheduler are required")
+	}
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := cfg.Workload.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if cfg.Workload.NumMachines > cfg.Cluster.Size() {
+		return nil, fmt.Errorf("sim: workload references %d machines, cluster has %d", cfg.Workload.NumMachines, cfg.Cluster.Size())
+	}
+	s := &Sim{
+		cfg: cfg,
+		res: newResult(),
+	}
+	if cfg.TaskFailureProb > 0 {
+		seed := cfg.FailureSeed
+		if seed == 0 {
+			seed = 1
+		}
+		s.failRand = rand.New(rand.NewSource(seed))
+	}
+	for _, m := range cfg.Cluster.Machines {
+		s.machines = append(s.machines, &scheduler.MachineState{ID: m.ID, Capacity: m.Capacity})
+		s.total = s.total.Add(m.Capacity)
+	}
+	s.byMach = make([][]*runningTask, len(s.machines))
+	s.background = make([]resources.Vector, len(s.machines))
+	for i, j := range cfg.Workload.Jobs {
+		jr := &jobRun{state: &scheduler.JobState{Job: j, Status: workload.NewStatus(j)}}
+		s.jobs = append(s.jobs, jr)
+		s.queue.Push(j.Arrival, event{kind: evArrival, idx: i})
+	}
+	for i, a := range cfg.Activities {
+		if a.Machine < 0 || a.Machine >= len(s.machines) {
+			return nil, fmt.Errorf("sim: activity %d on machine %d out of range", i, a.Machine)
+		}
+		s.queue.Push(a.Start, event{kind: evActivityStart, idx: i})
+		s.queue.Push(a.End, event{kind: evActivityEnd, idx: i})
+	}
+	if cfg.SampleEvery > 0 {
+		s.queue.Push(0, event{kind: evSample})
+	}
+	return s, nil
+}
+
+// Run executes the simulation to completion and returns its result.
+func (s *Sim) Run() (*Result, error) {
+	const eps = 1e-9
+	needSchedule := false
+	for {
+		if s.done() {
+			break
+		}
+		if s.cfg.MaxTime > 0 && s.clock > s.cfg.MaxTime {
+			return nil, fmt.Errorf("sim: exceeded MaxTime %v at t=%v (%d jobs unfinished)", s.cfg.MaxTime, s.clock, len(s.active))
+		}
+		// 1. Fire all events at the current instant.
+		for {
+			at, ev, ok := s.queue.Peek()
+			if !ok || at > s.clock+eps {
+				break
+			}
+			s.queue.Pop()
+			switch ev.kind {
+			case evArrival:
+				jr := s.jobs[ev.idx]
+				jr.arrived = true
+				s.active = append(s.active, jr)
+				needSchedule = true
+			case evActivityStart:
+				a := s.cfg.Activities[ev.idx]
+				s.background[a.Machine] = s.background[a.Machine].Add(a.Usage)
+				needSchedule = true
+			case evActivityEnd:
+				a := s.cfg.Activities[ev.idx]
+				s.background[a.Machine] = s.background[a.Machine].Sub(a.Usage).Max(resources.Vector{})
+				needSchedule = true
+			case evSample:
+				s.sample()
+				s.queue.Push(s.clock+s.cfg.SampleEvery, event{kind: evSample})
+			case evSchedule:
+				s.schedPending = false
+				needSchedule = true
+			}
+		}
+		// 2. Scheduling round, rate-limited to the heartbeat period.
+		if needSchedule {
+			hb := s.cfg.HeartbeatSec
+			if hb == 0 {
+				hb = 1
+			}
+			switch {
+			case hb < 0 || s.clock+eps >= s.nextSchedOK:
+				s.schedule()
+				s.nextSchedOK = s.clock + math.Max(hb, 0)
+				needSchedule = false
+			case !s.schedPending:
+				s.queue.Push(s.nextSchedOK, event{kind: evSchedule})
+				s.schedPending = true
+				needSchedule = false
+			default:
+				needSchedule = false
+			}
+		}
+		// 3. Recompute fluid rates and find the next completion.
+		s.recomputeRates()
+		nextFinish := math.Inf(1)
+		for _, rt := range s.running {
+			if f := rt.finishEstimate(); f < nextFinish {
+				nextFinish = f
+			}
+		}
+		nextEvent := math.Inf(1)
+		if at, _, ok := s.queue.Peek(); ok {
+			nextEvent = at
+		}
+		next := math.Min(s.clock+nextFinish, nextEvent)
+		if math.IsInf(next, 1) {
+			if len(s.active) > 0 {
+				return nil, fmt.Errorf("sim: deadlock at t=%v: %d active jobs, nothing running, no events", s.clock, len(s.active))
+			}
+			break
+		}
+		if s.cfg.MaxTime > 0 && next > s.cfg.MaxTime {
+			return nil, fmt.Errorf("sim: exceeded MaxTime %v (next event at t=%v, %d jobs unfinished)", s.cfg.MaxTime, next, len(s.active))
+		}
+		// 4. Advance work to the next instant.
+		dt := next - s.clock
+		if dt < 0 {
+			dt = 0
+		}
+		if s.cfg.TrackShares {
+			s.accumulateShares(dt)
+		}
+		s.advance(dt)
+		s.clock = next
+		// 5. Complete tasks whose components are all done.
+		if s.completeFinished() {
+			needSchedule = true
+		}
+		if s.cfg.CheckInvariants {
+			if err := s.checkInvariants(); err != nil {
+				return nil, err
+			}
+		}
+		// Resources are also reclaimed between completions (ramp-up
+		// allowances decay, IO components finish): while anything runs,
+		// keep scheduling rounds coming at the heartbeat cadence.
+		if len(s.running) > 0 {
+			needSchedule = true
+		}
+	}
+	s.res.Makespan = s.lastDone
+	s.res.finalize()
+	return s.res, nil
+}
+
+func (s *Sim) done() bool {
+	if len(s.running) > 0 || s.queue.Len() > 0 && s.pendingNonSample() {
+		return false
+	}
+	for _, jr := range s.jobs {
+		if !jr.state.Status.Finished() {
+			return false
+		}
+	}
+	return true
+}
+
+// pendingNonSample reports whether any queued event other than sampling
+// remains (sampling alone must not keep the simulation alive).
+func (s *Sim) pendingNonSample() bool {
+	// The queue does not support iteration; approximate by checking the
+	// head. Sampling events are pushed one at a time, so if the head is a
+	// sample and nothing else is pending the simulation can stop: job
+	// arrivals and activities are all in the queue from the start.
+	_, ev, ok := s.queue.Peek()
+	if !ok {
+		return false
+	}
+	if ev.kind != evSample {
+		return true
+	}
+	// Head is a sample: any remaining arrivals/activities would sort at
+	// their own times; we conservatively scan jobs instead.
+	for _, jr := range s.jobs {
+		if !jr.arrived {
+			return true
+		}
+	}
+	return false
+}
+
+// schedule invokes the policy and applies its assignments.
+func (s *Sim) schedule() {
+	// Drop finished jobs from the active list.
+	act := s.active[:0]
+	for _, jr := range s.active {
+		if !jr.state.Status.Finished() {
+			act = append(act, jr)
+		}
+	}
+	s.active = act
+	if len(s.active) == 0 {
+		return
+	}
+	v := &scheduler.View{
+		Time:           s.clock,
+		Machines:       s.machines,
+		Total:          s.total,
+		EstimateDemand: s.cfg.EstimateDemand,
+	}
+	for _, jr := range s.active {
+		v.Jobs = append(v.Jobs, jr.state)
+	}
+	s.updateReported()
+	asgs := s.cfg.Scheduler.Schedule(v)
+	for _, a := range asgs {
+		s.start(a)
+	}
+}
+
+// start applies one assignment: ledgers, status, fluid components.
+func (s *Sim) start(a scheduler.Assignment) {
+	jr := s.jobs[a.JobID]
+	jr.state.Status.MarkRunning(a.Task.ID)
+	jr.state.Alloc = jr.state.Alloc.Add(a.Local)
+	jr.truePeaks = jr.truePeaks.Add(a.Task.Peak)
+	// Machine ledgers (Allocated) are recomputed wholesale by
+	// updateReported before every scheduling round; within a round the
+	// scheduler tracks its own decrements.
+
+	rt := &runningTask{
+		job:     jr,
+		task:    a.Task,
+		machine: a.Machine,
+		started: s.clock,
+		local:   a.Local,
+		remote:  a.Remote,
+		idx:     len(s.running),
+	}
+	t := a.Task
+	if t.Work.CPUSeconds > 0 {
+		rt.comps = append(rt.comps, component{kind: compCPU, remaining: t.Work.CPUSeconds, demand: t.Peak.Get(resources.CPU)})
+	}
+	if t.Work.WriteMB > 0 {
+		rt.comps = append(rt.comps, component{kind: compWrite, remaining: t.Work.WriteMB, demand: t.Peak.Get(resources.DiskWrite)})
+	}
+	var localMB float64
+	remoteBySrc := map[int]float64{}
+	for _, b := range t.Inputs {
+		if b.SizeMB <= 0 {
+			continue
+		}
+		if b.Machine < 0 || b.Machine == a.Machine {
+			localMB += b.SizeMB
+		} else {
+			remoteBySrc[b.Machine] += b.SizeMB
+		}
+	}
+	if localMB > 0 {
+		rt.comps = append(rt.comps, component{kind: compLocalRead, remaining: localMB, demand: t.Peak.Get(resources.DiskRead)})
+		s.res.LocalReadMB += localMB
+	}
+	remoteTotal := t.RemoteInputMB(a.Machine)
+	for src, mb := range remoteBySrc {
+		// Each flow's peak byte rate is its share of the task's
+		// achievable remote-read rate (disk- and network-capped).
+		frac := mb / remoteTotal
+		rt.comps = append(rt.comps, component{
+			kind:      compFlow,
+			remaining: mb,
+			demand:    t.FlowCapMBps() * frac,
+			src:       src,
+		})
+		s.res.RemoteReadMB += mb
+	}
+	s.running = append(s.running, rt)
+	s.byMach[a.Machine] = append(s.byMach[a.Machine], rt)
+	if len(rt.comps) == 0 {
+		// Degenerate zero-work task: completes instantly on the next pass.
+		rt.comps = append(rt.comps, component{kind: compCPU, remaining: 0, demand: 1})
+	}
+}
+
+// finishEstimate returns seconds until this task completes at current
+// rates (infinite if any component is starved).
+func (rt *runningTask) finishEstimate() float64 {
+	worst := 0.0
+	for i := range rt.comps {
+		c := &rt.comps[i]
+		if c.remaining <= 0 {
+			continue
+		}
+		if c.rate <= 0 {
+			return math.Inf(1)
+		}
+		if t := c.remaining / c.rate; t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// advance progresses every component by dt at its current rate.
+func (s *Sim) advance(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	for _, rt := range s.running {
+		for i := range rt.comps {
+			c := &rt.comps[i]
+			if c.remaining <= 0 {
+				continue
+			}
+			c.remaining -= c.rate * dt
+			if c.remaining < 1e-9 {
+				c.remaining = 0
+			}
+		}
+	}
+}
+
+// completeFinished retires tasks whose components are all done; returns
+// whether anything completed.
+func (s *Sim) completeFinished() bool {
+	var done []*runningTask
+	for _, rt := range s.running {
+		finished := true
+		for i := range rt.comps {
+			if rt.comps[i].remaining > 0 {
+				finished = false
+				break
+			}
+		}
+		if finished {
+			done = append(done, rt)
+		}
+	}
+	for _, rt := range done {
+		id := rt.task.ID
+		// Swap-remove from the running list, fixing the moved task's idx.
+		last := len(s.running) - 1
+		moved := s.running[last]
+		s.running[rt.idx] = moved
+		moved.idx = rt.idx
+		s.running[last] = nil
+		s.running = s.running[:last]
+
+		lst := s.byMach[rt.machine]
+		for i, x := range lst {
+			if x == rt {
+				lst[i] = lst[len(lst)-1]
+				s.byMach[rt.machine] = lst[:len(lst)-1]
+				break
+			}
+		}
+		jr := rt.job
+		jr.state.Alloc = jr.state.Alloc.Sub(rt.local).Max(resources.Vector{})
+		jr.truePeaks = jr.truePeaks.Sub(rt.task.Peak).Max(resources.Vector{})
+		if s.failRand != nil && s.failRand.Float64() < s.cfg.TaskFailureProb {
+			// The attempt failed: release everything, return the task to
+			// the pending pool, and count the wasted attempt.
+			jr.state.Status.MarkFailed(id)
+			s.res.FailedAttempts++
+			s.res.TaskDurations = append(s.res.TaskDurations, s.clock-rt.started)
+			continue
+		}
+		jr.state.Status.MarkDone(id, s.clock)
+		s.lastDone = s.clock
+		s.res.TaskDurations = append(s.res.TaskDurations, s.clock-rt.started)
+		if s.cfg.RecordTasks {
+			s.res.Tasks = append(s.res.Tasks, TaskRecord{
+				Task: id, Machine: rt.machine, Start: rt.started, Finish: s.clock,
+			})
+		}
+		if jr.state.Status.Finished() {
+			j := jr.state.Job
+			s.res.Jobs[j.ID] = JobResult{
+				ID:         j.ID,
+				Arrival:    j.Arrival,
+				Finish:     s.clock,
+				JCT:        s.clock - j.Arrival,
+				NumTasks:   j.NumTasks(),
+				Unfairness: jr.integral,
+			}
+		}
+	}
+	return len(done) > 0
+}
+
+// accumulateShares advances the §5.3.2 unfairness integrals by dt:
+// ∫ (a(t) − f(t))/f(t) dt over each job's lifetime, where a(t) is the
+// job's dominant share of its running tasks' true peak demands and f(t)
+// its weight-proportional fair share among active jobs.
+func (s *Sim) accumulateShares(dt float64) {
+	if dt <= 0 || len(s.active) == 0 {
+		return
+	}
+	var totalWeight float64
+	for _, jr := range s.active {
+		if !jr.state.Status.Finished() {
+			totalWeight += jr.state.Job.Weight
+		}
+	}
+	if totalWeight == 0 {
+		return
+	}
+	for _, jr := range s.active {
+		if jr.state.Status.Finished() {
+			continue
+		}
+		fair := jr.state.Job.Weight / totalWeight
+		_, share := resources.DominantShare(jr.truePeaks, s.total)
+		if share <= fair && !jr.state.Status.HasRunnable() {
+			// The job is below its fair share but has nothing runnable
+			// (barrier wait, or simply a small job): it is satisfied,
+			// not deprived — unfairness measures service denied while
+			// wanted.
+			continue
+		}
+		jr.integral += (share - fair) / fair * dt
+	}
+}
+
+// checkInvariants verifies physical and bookkeeping invariants (enabled
+// by Config.CheckInvariants):
+//
+//   - no machine's physical memory is over-committed by running tasks'
+//     true peaks (every policy charges at least the task's memory);
+//   - ledgers and reports are non-negative;
+//   - the running list and the per-machine index agree.
+func (s *Sim) checkInvariants() error {
+	const eps = 1e-6
+	byMachCount := 0
+	for m, lst := range s.byMach {
+		var mem float64
+		for _, rt := range lst {
+			if rt.machine != m {
+				return fmt.Errorf("sim: task %v in byMach[%d] but placed on %d", rt.task.ID, m, rt.machine)
+			}
+			mem += rt.task.Peak.Get(resources.Memory)
+		}
+		byMachCount += len(lst)
+		if capMem := s.machines[m].Capacity.Get(resources.Memory); mem > capMem*(1+eps)+eps {
+			return fmt.Errorf("sim: machine %d memory over-committed: %.2f > %.2f at t=%.2f", m, mem, capMem, s.clock)
+		}
+		if !s.machines[m].Allocated.NonNegative() || !s.machines[m].Reported.NonNegative() {
+			return fmt.Errorf("sim: machine %d negative ledger at t=%.2f", m, s.clock)
+		}
+	}
+	if byMachCount != len(s.running) {
+		return fmt.Errorf("sim: byMach holds %d tasks, running list %d", byMachCount, len(s.running))
+	}
+	return nil
+}

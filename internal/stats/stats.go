@@ -1,0 +1,312 @@
+// Package stats provides the small statistics toolkit used by the trace
+// generator, the workload analysis of §2.2 and the evaluation metrics of
+// §5: moments, correlation, percentiles, CDFs and 2-D histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Stdev returns the population standard deviation of xs.
+func Stdev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CoV returns the coefficient of variation (stdev/mean), the dispersion
+// measure the paper uses to characterize task demand diversity (§2.2.2).
+// Returns 0 when the mean is 0.
+func CoV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return Stdev(xs) / m
+}
+
+// Correlation returns the Pearson correlation coefficient of the paired
+// samples xs, ys (Table 2 of the paper). It returns 0 if either series is
+// constant or the lengths differ.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using linear
+// interpolation between closest ranks. It returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// FractionAbove returns the fraction of samples strictly greater than
+// threshold. Used for the "tightness" analysis of Table 3.
+func FractionAbove(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// CDF is an empirical cumulative distribution over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the samples (which are copied).
+func NewCDF(xs []float64) *CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the number of samples.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X ≤ x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (q in [0,1]).
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(c.sorted)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.sorted) {
+		i = len(c.sorted) - 1
+	}
+	return c.sorted[i]
+}
+
+// Table renders the CDF as (value, cumulative fraction) rows at the given
+// quantiles, matching how the paper reports improvement distributions.
+func (c *CDF) Table(quantiles []float64) string {
+	var b strings.Builder
+	for _, q := range quantiles {
+		fmt.Fprintf(&b, "p%02.0f\t%8.3f\n", q*100, c.Quantile(q))
+	}
+	return b.String()
+}
+
+// Hist2D is a fixed-bin two-dimensional histogram used to render the
+// Figure-2 style demand heatmaps.
+type Hist2D struct {
+	XBins, YBins   int
+	XMin, XMax     float64
+	YMin, YMax     float64
+	Counts         [][]int
+	totalSamples   int
+	clippedSamples int
+}
+
+// NewHist2D creates a histogram with the given bin grid over [xmin,xmax] ×
+// [ymin,ymax].
+func NewHist2D(xbins, ybins int, xmin, xmax, ymin, ymax float64) *Hist2D {
+	h := &Hist2D{XBins: xbins, YBins: ybins, XMin: xmin, XMax: xmax, YMin: ymin, YMax: ymax}
+	h.Counts = make([][]int, ybins)
+	for i := range h.Counts {
+		h.Counts[i] = make([]int, xbins)
+	}
+	return h
+}
+
+// Add records a sample; out-of-range samples are clipped into the border
+// bins (and counted as clipped).
+func (h *Hist2D) Add(x, y float64) {
+	bin := func(v, lo, hi float64, n int) (int, bool) {
+		if hi <= lo {
+			return 0, true
+		}
+		i := int((v - lo) / (hi - lo) * float64(n))
+		clipped := false
+		if i < 0 {
+			i, clipped = 0, true
+		}
+		if i >= n {
+			i, clipped = n-1, v > hi
+		}
+		return i, clipped
+	}
+	xi, cx := bin(x, h.XMin, h.XMax, h.XBins)
+	yi, cy := bin(y, h.YMin, h.YMax, h.YBins)
+	h.Counts[yi][xi]++
+	h.totalSamples++
+	if cx || cy {
+		h.clippedSamples++
+	}
+}
+
+// Total returns the number of samples added.
+func (h *Hist2D) Total() int { return h.totalSamples }
+
+// Clipped returns how many samples fell outside the grid.
+func (h *Hist2D) Clipped() int { return h.clippedSamples }
+
+// MaxCount returns the largest bin count.
+func (h *Hist2D) MaxCount() int {
+	max := 0
+	for _, row := range h.Counts {
+		for _, c := range row {
+			if c > max {
+				max = c
+			}
+		}
+	}
+	return max
+}
+
+// Render draws the histogram as ASCII art with log-scale intensity
+// characters, highest y first (mirroring the plot orientation of Fig. 2).
+func (h *Hist2D) Render() string {
+	const ramp = " .:-=+*#%@"
+	maxLog := math.Log10(float64(h.MaxCount()) + 1)
+	var b strings.Builder
+	for yi := h.YBins - 1; yi >= 0; yi-- {
+		for xi := 0; xi < h.XBins; xi++ {
+			c := h.Counts[yi][xi]
+			if maxLog == 0 || c == 0 {
+				b.WriteByte(' ')
+				continue
+			}
+			idx := int(math.Log10(float64(c)+1) / maxLog * float64(len(ramp)-1))
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Online accumulates mean/variance/min/max in one pass (Welford's
+// algorithm); used by the estimator and the tracker where retaining raw
+// samples would be wasteful.
+type Online struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add incorporates a sample.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the number of samples seen.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the running mean.
+func (o *Online) Mean() float64 { return o.mean }
+
+// Min returns the smallest sample seen (0 before any sample).
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest sample seen (0 before any sample).
+func (o *Online) Max() float64 { return o.max }
+
+// Variance returns the running population variance.
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n)
+}
+
+// Stdev returns the running population standard deviation.
+func (o *Online) Stdev() float64 { return math.Sqrt(o.Variance()) }
+
+// CoV returns the running coefficient of variation (0 if mean is 0).
+func (o *Online) CoV() float64 {
+	if o.mean == 0 {
+		return 0
+	}
+	return o.Stdev() / o.mean
+}

@@ -1,0 +1,145 @@
+package tokenbucket
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock lets tests advance time manually; Sleep advances the clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) sleep(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newFake(rate, burst float64) (*Bucket, *fakeClock) {
+	c := &fakeClock{t: time.Unix(0, 0)}
+	return newWithClock(rate, burst, c.now, c.sleep), c
+}
+
+func TestStartsFull(t *testing.T) {
+	b, _ := newFake(10, 100)
+	if got := b.Available(); got != 100 {
+		t.Errorf("Available = %v, want 100", got)
+	}
+	if !b.TryTake(100) {
+		t.Error("full burst should be takeable")
+	}
+	if b.TryTake(1) {
+		t.Error("bucket should be empty now")
+	}
+}
+
+func TestRefillRate(t *testing.T) {
+	b, c := newFake(10, 100)
+	b.TryTake(100)
+	c.sleep(5 * time.Second) // 50 tokens refill
+	if got := b.Available(); got != 50 {
+		t.Errorf("after 5s: Available = %v, want 50", got)
+	}
+	c.sleep(100 * time.Second) // caps at burst
+	if got := b.Available(); got != 100 {
+		t.Errorf("after long idle: Available = %v, want 100 (capped)", got)
+	}
+}
+
+func TestTakeBlocksUntilAvailable(t *testing.T) {
+	b, c := newFake(10, 100)
+	b.TryTake(100)
+	start := c.now()
+	if err := b.Take(30); err != nil {
+		t.Fatalf("Take: %v", err)
+	}
+	elapsed := c.now().Sub(start).Seconds()
+	if elapsed < 2.9 || elapsed > 3.5 {
+		t.Errorf("Take(30) at 10/s took %vs, want ≈ 3s", elapsed)
+	}
+}
+
+func TestTakeTooLarge(t *testing.T) {
+	b, _ := newFake(10, 100)
+	if err := b.Take(101); err != ErrTooLarge {
+		t.Errorf("Take(>burst) = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestSetRate(t *testing.T) {
+	b, c := newFake(10, 100)
+	b.TryTake(100)
+	b.SetRate(100)
+	if b.Rate() != 100 {
+		t.Errorf("Rate = %v", b.Rate())
+	}
+	c.sleep(time.Second)
+	if got := b.Available(); got != 100 {
+		t.Errorf("after rate change: Available = %v, want 100", got)
+	}
+}
+
+func TestZeroRateStillPolls(t *testing.T) {
+	b, c := newFake(0, 10)
+	b.TryTake(10)
+	done := make(chan struct{})
+	go func() {
+		// Raise the rate shortly after Take starts polling.
+		b.SetRate(1000)
+		close(done)
+	}()
+	<-done
+	if err := b.Take(5); err != nil {
+		t.Fatalf("Take after rate raise: %v", err)
+	}
+	_ = c
+}
+
+func TestEnforcedThroughputApproximatesRate(t *testing.T) {
+	// Simulate a task writing 1000 units at 100 units/s with burst 50:
+	// total time must be ≈ 10s (within fluid rounding).
+	b, c := newFake(100, 50)
+	start := c.now()
+	for i := 0; i < 20; i++ {
+		if err := b.Take(50); err != nil {
+			t.Fatalf("Take: %v", err)
+		}
+	}
+	elapsed := c.now().Sub(start).Seconds()
+	if elapsed < 9 || elapsed > 11 {
+		t.Errorf("1000 units at 100/s took %vs, want ≈ 10s", elapsed)
+	}
+}
+
+func TestConcurrentTryTakeConservesTokens(t *testing.T) {
+	b := New(0, 1000) // real clock, zero refill: fixed pool
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	taken := 0.0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if b.TryTake(1) {
+					mu.Lock()
+					taken++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if taken != 1000 {
+		t.Errorf("taken = %v, want exactly 1000", taken)
+	}
+}

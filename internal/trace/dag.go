@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"math/rand"
+
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// GenerateBingLike builds a trace in the style of the paper's Bing/Cosmos
+// workload (Table 1): jobs are multi-stage DAGs of substantial depth
+// (Scope scripts compile to trees of extract/process/aggregate/join
+// stages), rather than the two-phase map/reduce jobs of the Hadoop
+// cluster. Task demand distributions reuse the calibrated §2.2 moments.
+//
+// DAG construction: depth is drawn in [2, 8]; each level has 1–3 stages;
+// every stage depends on 1–2 stages of the previous level, so barriers
+// cascade. Leaf stages read file-system blocks; interior stages shuffle
+// from their parents' (scattered) output.
+func GenerateBingLike(cfg Config) *workload.Workload {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	w := &workload.Workload{NumMachines: cfg.NumMachines}
+	for i := 0; i < cfg.NumJobs; i++ {
+		var lr *rand.Rand
+		lineage := 0
+		if cfg.RecurringFraction > 0 && r.Float64() < cfg.RecurringFraction {
+			lineage = 1 + r.Intn(20)
+			lr = rand.New(rand.NewSource(cfg.Seed*70607 + int64(lineage)))
+		}
+		j := generateDAGJob(r, lr, cfg, i)
+		j.Lineage = lineage
+		if cfg.ArrivalSpanSec > 0 {
+			j.Arrival = r.Float64() * cfg.ArrivalSpanSec
+		}
+		w.Jobs = append(w.Jobs, j)
+	}
+	return w
+}
+
+// generateDAGJob builds one multi-level DAG job.
+func generateDAGJob(r, lineageRand *rand.Rand, cfg Config, id int) *workload.Job {
+	rr := r
+	if lineageRand != nil {
+		rr = lineageRand
+	}
+	depth := 2 + rr.Intn(7)
+	// Leaf width follows a heavy-ish tail; interior stages narrow toward
+	// the root like aggregation trees do.
+	leafTasks := 4 + rr.Intn(400)
+
+	j := &workload.Job{ID: id, Name: "dag", Weight: 1}
+	type level struct{ stages []int } // stage indices per level
+	var prev level
+	stageIdx := 0
+	for d := 0; d < depth; d++ {
+		width := 1
+		if d == 0 {
+			width = 1 + rr.Intn(3)
+		} else if rr.Float64() < 0.4 {
+			width = 1 + rr.Intn(2)
+		}
+		var cur level
+		for sidx := 0; sidx < width; sidx++ {
+			nTasks := max(1, int(float64(leafTasks)/float64(1+d*2)))
+			var tpl stageTemplate
+			var deps []int
+			if d == 0 {
+				tpl = sampleMapTemplate(rr, cfg, rr.Float64() < 0.5, rr.Float64() < 0.3)
+				tpl.outputRatio = []float64{0.05, 0.5, 2.0}[rr.Intn(3)]
+			} else {
+				tpl = sampleReduceTemplate(rr, cfg, rr.Float64() < 0.3)
+				tpl.outputRatio = 0.5
+				// Depend on 1–2 stages of the previous level.
+				deps = append(deps, prev.stages[rr.Intn(len(prev.stages))])
+				if len(prev.stages) > 1 && rr.Float64() < 0.5 {
+					d2 := prev.stages[rr.Intn(len(prev.stages))]
+					if d2 != deps[0] {
+						deps = append(deps, d2)
+					}
+				}
+			}
+			st := buildStage(r, cfg, id, stageIdx, nTasks, tpl, deps, stageName(d, sidx))
+			j.Stages = append(j.Stages, st)
+			cur.stages = append(cur.stages, stageIdx)
+			stageIdx++
+		}
+		prev = cur
+	}
+	return j
+}
+
+func stageName(level, idx int) string {
+	names := []string{"extract", "process", "aggregate", "join", "combine", "output"}
+	n := names[min(level, len(names)-1)]
+	if idx > 0 {
+		return n + string(rune('a'+idx))
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"testing"
+
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+func TestGenerateBingLikeStructure(t *testing.T) {
+	w := GenerateBingLike(Config{Seed: 9, NumJobs: 60, NumMachines: 40, ArrivalSpanSec: 1000, RecurringFraction: 0.3})
+	if err := w.Validate(); err != nil {
+		t.Fatalf("invalid workload: %v", err)
+	}
+	deep := 0
+	multiDep := 0
+	for _, j := range w.Jobs {
+		if len(j.Stages) >= 4 {
+			deep++
+		}
+		for _, st := range j.Stages {
+			if len(st.Deps) >= 2 {
+				multiDep++
+			}
+		}
+	}
+	if deep < 20 {
+		t.Errorf("only %d/60 jobs have ≥4 stages; Bing-like DAGs should be deep", deep)
+	}
+	if multiDep == 0 {
+		t.Error("no stage with multiple dependencies; joins expected")
+	}
+}
+
+func TestGenerateBingLikeDeterministic(t *testing.T) {
+	a := GenerateBingLike(Config{Seed: 3, NumJobs: 10, NumMachines: 10})
+	b := GenerateBingLike(Config{Seed: 3, NumJobs: 10, NumMachines: 10})
+	if a.NumTasks() != b.NumTasks() {
+		t.Fatalf("nondeterministic: %d vs %d tasks", a.NumTasks(), b.NumTasks())
+	}
+	for i := range a.Jobs {
+		if len(a.Jobs[i].Stages) != len(b.Jobs[i].Stages) {
+			t.Fatalf("job %d stage counts differ", i)
+		}
+	}
+}
+
+func TestBingLikeStatusUnlocking(t *testing.T) {
+	// Drive one DAG job's Status through a full topological execution to
+	// verify barrier cascades unlock correctly.
+	w := GenerateBingLike(Config{Seed: 4, NumJobs: 1, NumMachines: 5})
+	j := w.Jobs[0]
+	s := workload.NewStatus(j)
+	steps := 0
+	for !s.Finished() {
+		run := s.Runnable(nil)
+		if len(run) == 0 {
+			t.Fatalf("no runnable tasks but job unfinished (%d/%d done)", s.DoneTasks(), j.NumTasks())
+		}
+		for _, task := range run {
+			s.MarkRunning(task.ID)
+			s.MarkDone(task.ID, float64(steps))
+		}
+		steps++
+		if steps > len(j.Stages)+2 {
+			t.Fatalf("too many barrier waves: %d for %d stages", steps, len(j.Stages))
+		}
+	}
+}

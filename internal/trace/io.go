@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// Save writes the workload as JSON to w.
+func Save(w io.Writer, wl *workload.Workload) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(wl); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load reads a workload previously written by Save and validates it.
+func Load(r io.Reader) (*workload.Workload, error) {
+	var wl workload.Workload
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&wl); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := wl.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: invalid workload: %w", err)
+	}
+	return &wl, nil
+}
+
+// SaveFile writes the workload to the named file.
+func SaveFile(path string, wl *workload.Workload) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, wl); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a workload from the named file.
+func LoadFile(path string) (*workload.Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/stats"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// Summary holds the workload statistics the paper reports in §2.2:
+// per-resource demand dispersion (CoV), the pairwise correlation matrix
+// (Table 2) and demand heatmaps (Figure 2).
+type Summary struct {
+	NumJobs  int
+	NumTasks int
+	// CoV of per-task demands per resource kind.
+	CoV [resources.NumKinds]float64
+	// Corr[i][j] is the Pearson correlation between demands for resource
+	// kinds i and j.
+	Corr [resources.NumKinds][resources.NumKinds]float64
+	// MinMedMax per resource kind (over tasks with non-zero demand).
+	Min, Median, Max [resources.NumKinds]float64
+}
+
+// Summarize computes the §2.2 statistics over every task of w.
+func Summarize(w *workload.Workload) *Summary {
+	s := &Summary{NumJobs: len(w.Jobs), NumTasks: w.NumTasks()}
+	series := make([][]float64, resources.NumKinds)
+	nonzero := make([][]float64, resources.NumKinds)
+	for _, j := range w.Jobs {
+		for _, st := range j.Stages {
+			for _, t := range st.Tasks {
+				for k := 0; k < int(resources.NumKinds); k++ {
+					v := t.Peak.Get(resources.Kind(k))
+					series[k] = append(series[k], v)
+					if v > 0 {
+						nonzero[k] = append(nonzero[k], v)
+					}
+				}
+			}
+		}
+	}
+	for k := 0; k < int(resources.NumKinds); k++ {
+		s.CoV[k] = stats.CoV(series[k])
+		s.Min[k] = stats.Percentile(nonzero[k], 0)
+		s.Median[k] = stats.Median(nonzero[k])
+		s.Max[k] = stats.Percentile(nonzero[k], 100)
+		for l := 0; l < int(resources.NumKinds); l++ {
+			s.Corr[k][l] = stats.Correlation(series[k], series[l])
+		}
+	}
+	return s
+}
+
+// CorrelationTable renders the upper triangle of the correlation matrix
+// in the style of Table 2.
+func (s *Summary) CorrelationTable() string {
+	kinds := resources.Kinds()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "")
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "%8s", k)
+	}
+	b.WriteByte('\n')
+	for i, ki := range kinds {
+		fmt.Fprintf(&b, "%-8s", ki)
+		for j := range kinds {
+			if j <= i {
+				fmt.Fprintf(&b, "%8s", "—")
+			} else {
+				fmt.Fprintf(&b, "%8.2f", s.Corr[i][j])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders the dispersion statistics.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "jobs=%d tasks=%d\n", s.NumJobs, s.NumTasks)
+	fmt.Fprintf(&b, "%-8s%10s%10s%10s%8s\n", "resource", "min", "median", "max", "CoV")
+	for _, k := range resources.Kinds() {
+		fmt.Fprintf(&b, "%-8s%10.3g%10.3g%10.3g%8.2f\n", k, s.Min[k], s.Median[k], s.Max[k], s.CoV[k])
+	}
+	return b.String()
+}
+
+// Heatmap builds a Figure-2 style 2-D histogram of task demands: x is
+// CPU cores, y is the chosen resource, both normalized to their observed
+// maxima, with bins×bins cells.
+func Heatmap(w *workload.Workload, y resources.Kind, bins int) *stats.Hist2D {
+	var maxX, maxY float64
+	for _, j := range w.Jobs {
+		for _, st := range j.Stages {
+			for _, t := range st.Tasks {
+				if c := t.Peak.Get(resources.CPU); c > maxX {
+					maxX = c
+				}
+				if v := t.Peak.Get(y); v > maxY {
+					maxY = v
+				}
+			}
+		}
+	}
+	if maxX == 0 {
+		maxX = 1
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	h := stats.NewHist2D(bins, bins, 0, 1, 0, 1)
+	for _, j := range w.Jobs {
+		for _, st := range j.Stages {
+			for _, t := range st.Tasks {
+				h.Add(t.Peak.Get(resources.CPU)/maxX, t.Peak.Get(y)/maxY)
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,147 @@
+// Package wire defines the message protocol spoken between the
+// cluster-wide resource manager (RM), the per-node node managers (NM)
+// and the per-job job managers (AM) of the distributed prototype
+// (§4.4): length-prefixed JSON frames over TCP.
+//
+// Framing: a 4-byte big-endian length followed by that many bytes of
+// JSON. Frames are capped at MaxFrame to bound memory under a
+// misbehaving peer.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// MaxFrame is the largest accepted frame size in bytes. Job DAGs with
+// tens of thousands of tasks serialize well below this.
+const MaxFrame = 64 << 20
+
+// Message types.
+const (
+	TypeRegisterNM  = "register-nm"
+	TypeNMHeartbeat = "nm-heartbeat"
+	TypeNMReply     = "nm-reply"
+	TypeSubmitJob   = "submit-job"
+	TypeAMHeartbeat = "am-heartbeat"
+	TypeAMReply     = "am-reply"
+	TypeError       = "error"
+)
+
+// Message is the envelope for every frame. Exactly one payload field is
+// set, matching Type.
+type Message struct {
+	Type string `json:"type"`
+
+	RegisterNM  *RegisterNM  `json:"registerNM,omitempty"`
+	NMHeartbeat *NMHeartbeat `json:"nmHeartbeat,omitempty"`
+	NMReply     *NMReply     `json:"nmReply,omitempty"`
+	SubmitJob   *SubmitJob   `json:"submitJob,omitempty"`
+	AMHeartbeat *AMHeartbeat `json:"amHeartbeat,omitempty"`
+	AMReply     *AMReply     `json:"amReply,omitempty"`
+	Error       string       `json:"error,omitempty"`
+}
+
+// RegisterNM announces a node manager and its machine capacity.
+type RegisterNM struct {
+	NodeID   int              `json:"nodeID"`
+	Capacity resources.Vector `json:"capacity"`
+}
+
+// TaskCompletion reports a finished task with its measured peak usage and
+// duration — the estimator's input (§4.1).
+type TaskCompletion struct {
+	Task     workload.TaskID  `json:"task"`
+	Usage    resources.Vector `json:"usage"`
+	Duration float64          `json:"duration"`
+}
+
+// NMHeartbeat is the node manager's periodic report: tracker observations
+// plus completions since the last beat.
+type NMHeartbeat struct {
+	NodeID    int              `json:"nodeID"`
+	Used      resources.Vector `json:"used"`
+	Allocated resources.Vector `json:"allocated"`
+	Completed []TaskCompletion `json:"completed,omitempty"`
+}
+
+// TaskLaunch instructs a node manager to start one task.
+type TaskLaunch struct {
+	Task   workload.TaskID  `json:"task"`
+	JobID  int              `json:"jobID"`
+	Demand resources.Vector `json:"demand"`
+	// Duration is the emulated execution time in (uncompressed) seconds;
+	// the node manager divides by its time-compression factor.
+	Duration float64 `json:"duration"`
+	// ReadMB/WriteMB drive the NM's token-bucket enforcement.
+	ReadMB  float64 `json:"readMB"`
+	WriteMB float64 `json:"writeMB"`
+}
+
+// NMReply answers a heartbeat with tasks to launch.
+type NMReply struct {
+	Launch []TaskLaunch `json:"launch,omitempty"`
+}
+
+// SubmitJob registers a job (full DAG with declared demands) with the RM.
+type SubmitJob struct {
+	Job *workload.Job `json:"job"`
+}
+
+// AMHeartbeat polls job progress.
+type AMHeartbeat struct {
+	JobID int `json:"jobID"`
+}
+
+// AMReply reports job progress back to the job manager.
+type AMReply struct {
+	JobID      int     `json:"jobID"`
+	Done       int     `json:"done"`
+	Total      int     `json:"total"`
+	Finished   bool    `json:"finished"`
+	FinishedAt float64 `json:"finishedAt,omitempty"`
+}
+
+// Write frames and writes one message.
+func Write(w io.Writer, m *Message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: frame too large: %d bytes", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// Read reads one framed message.
+func Read(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	msgs := []*Message{
+		{Type: TypeRegisterNM, RegisterNM: &RegisterNM{NodeID: 3, Capacity: resources.New(16, 32, 200, 200, 1000, 1000)}},
+		{Type: TypeNMHeartbeat, NMHeartbeat: &NMHeartbeat{
+			NodeID:    3,
+			Used:      resources.New(1, 2, 0, 0, 0, 0),
+			Completed: []TaskCompletion{{Task: workload.TaskID{Job: 1, Stage: 0, Index: 2}, Usage: resources.New(1, 1, 0, 0, 0, 0), Duration: 12.5}},
+		}},
+		{Type: TypeNMReply, NMReply: &NMReply{Launch: []TaskLaunch{{
+			Task: workload.TaskID{Job: 1, Stage: 0, Index: 5}, JobID: 1,
+			Demand: resources.New(2, 4, 10, 10, 0, 0), Duration: 30, ReadMB: 100, WriteMB: 50,
+		}}}},
+		{Type: TypeSubmitJob, SubmitJob: &SubmitJob{Job: &workload.Job{ID: 1, Name: "j", Weight: 1}}},
+		{Type: TypeAMHeartbeat, AMHeartbeat: &AMHeartbeat{JobID: 1}},
+		{Type: TypeAMReply, AMReply: &AMReply{JobID: 1, Done: 3, Total: 10}},
+		{Type: TypeError, Error: "boom"},
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("Write(%s): %v", m.Type, err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		if got.Type != want.Type {
+			t.Fatalf("type = %q, want %q", got.Type, want.Type)
+		}
+	}
+	if _, err := Read(&buf); err != io.EOF {
+		t.Errorf("after drain: err = %v, want EOF", err)
+	}
+}
+
+func TestPayloadFidelity(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Message{Type: TypeNMReply, NMReply: &NMReply{Launch: []TaskLaunch{{
+		Task: workload.TaskID{Job: 7, Stage: 1, Index: 9}, JobID: 7,
+		Demand: resources.New(0.5, 8, 40, 20, 300, 100), Duration: 42.5, ReadMB: 1024,
+	}}}}
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := out.NMReply.Launch[0]
+	if l.Task != (workload.TaskID{Job: 7, Stage: 1, Index: 9}) || l.Demand != in.NMReply.Launch[0].Demand || l.Duration != 42.5 || l.ReadMB != 1024 {
+		t.Errorf("payload mangled: %+v", l)
+	}
+}
+
+func TestRejectsOversizedFrame(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := Read(bytes.NewReader(hdr[:])); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestRejectsGarbageJSON(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("{not json")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	if _, err := Read(&buf); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Message{Type: TypeAMHeartbeat, AMHeartbeat: &AMHeartbeat{JobID: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		m, err := Read(conn)
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- Write(conn, &Message{Type: TypeAMReply, AMReply: &AMReply{JobID: m.AMHeartbeat.JobID, Finished: true}})
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := Write(conn, &Message{Type: TypeAMHeartbeat, AMHeartbeat: &AMHeartbeat{JobID: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := Read(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.AMReply == nil || reply.AMReply.JobID != 5 || !reply.AMReply.Finished {
+		t.Errorf("reply = %+v", reply)
+	}
+	if err := <-done; err != nil {
+		t.Errorf("server: %v", err)
+	}
+}
+
+func TestBigJobFrame(t *testing.T) {
+	j := &workload.Job{ID: 1, Weight: 1}
+	st := &workload.Stage{Name: "big"}
+	for i := 0; i < 5000; i++ {
+		st.Tasks = append(st.Tasks, &workload.Task{
+			ID:   workload.TaskID{Job: 1, Stage: 0, Index: i},
+			Peak: resources.New(1, 2, 3, 4, 5, 6),
+			Work: workload.Work{CPUSeconds: 10},
+		})
+	}
+	j.Stages = []*workload.Stage{st}
+	var buf bytes.Buffer
+	if err := Write(&buf, &Message{Type: TypeSubmitJob, SubmitJob: &SubmitJob{Job: j}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SubmitJob.Job.NumTasks() != 5000 {
+		t.Errorf("tasks = %d", out.SubmitJob.Job.NumTasks())
+	}
+}

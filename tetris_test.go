@@ -1,0 +1,106 @@
+package tetris_test
+
+import (
+	"math"
+	"testing"
+
+	tetris "github.com/tetris-sched/tetris"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// quick start does.
+func TestFacadeEndToEnd(t *testing.T) {
+	cl := tetris.NewFacebookCluster(10)
+	wl := tetris.GenerateWorkload(tetris.TraceConfig{
+		Seed: 1, NumJobs: 5, NumMachines: 10, ArrivalSpanSec: 100, MeanTaskSeconds: 10,
+	})
+	res, err := tetris.Simulate(tetris.SimConfig{
+		Cluster:   cl,
+		Workload:  wl,
+		Scheduler: tetris.NewScheduler(tetris.DefaultConfig()),
+		MaxTime:   1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 || len(res.Jobs) != 5 {
+		t.Fatalf("makespan %v, jobs %d", res.Makespan, len(res.Jobs))
+	}
+
+	base, err := tetris.Simulate(tetris.SimConfig{
+		Cluster:   tetris.NewFacebookCluster(10),
+		Workload:  wl,
+		Scheduler: tetris.NewSlotFairScheduler(),
+		MaxTime:   1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp := tetris.PerJobImprovement(base, res); len(imp) != 5 {
+		t.Errorf("per-job improvements = %d entries", len(imp))
+	}
+	_ = tetris.Improvement(base.AvgJCT(), res.AvgJCT())
+}
+
+func TestFacadeVectorAndCluster(t *testing.T) {
+	v := tetris.NewVector(16, 32, 200, 200, 1000, 1000)
+	if v.Get(tetris.CPU) != 16 || v.Get(tetris.NetOut) != 1000 {
+		t.Errorf("vector = %v", v)
+	}
+	cl := tetris.NewCluster(4, v, 2)
+	if cl.Size() != 4 || cl.NumRacks() != 2 {
+		t.Errorf("cluster = %d machines / %d racks", cl.Size(), cl.NumRacks())
+	}
+	if tetris.NewDeploymentCluster(4).CrossRackMbps == 0 {
+		t.Error("deployment cluster should cap rack uplinks")
+	}
+}
+
+func TestFacadeUpperBound(t *testing.T) {
+	cl := tetris.NewFacebookCluster(8)
+	wl := tetris.GenerateWorkload(tetris.TraceConfig{Seed: 2, NumJobs: 3, NumMachines: 8, MeanTaskSeconds: 10})
+	ub, err := tetris.UpperBound(cl, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub.Makespan <= 0 || math.IsNaN(ub.AvgJCT()) {
+		t.Errorf("bound: %v / %v", ub.Makespan, ub.AvgJCT())
+	}
+}
+
+func TestFacadeWorkloadIO(t *testing.T) {
+	wl := tetris.GenerateFacebookWorkload(tetris.TraceConfig{Seed: 3, NumJobs: 4, NumMachines: 5})
+	s := tetris.SummarizeWorkload(wl)
+	if s.NumJobs != 4 {
+		t.Errorf("summary jobs = %d", s.NumJobs)
+	}
+	path := t.TempDir() + "/w.json"
+	if err := tetris.SaveWorkload(path, wl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tetris.LoadWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTasks() != wl.NumTasks() {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestFacadeSchedulers(t *testing.T) {
+	if len(tetris.Scorers()) != 5 {
+		t.Error("expected 5 scorers")
+	}
+	for _, s := range []tetris.Scheduler{
+		tetris.NewScheduler(tetris.DefaultConfig()),
+		tetris.NewSlotFairScheduler(),
+		tetris.NewDRFScheduler(),
+	} {
+		if s.Name() == "" {
+			t.Error("scheduler without name")
+		}
+	}
+	if tetris.NewEstimator() == nil {
+		t.Error("nil estimator")
+	}
+}
