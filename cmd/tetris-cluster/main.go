@@ -19,6 +19,7 @@ import (
 
 	tetris "github.com/tetris-sched/tetris"
 	"github.com/tetris-sched/tetris/internal/am"
+	"github.com/tetris-sched/tetris/internal/faults"
 	"github.com/tetris-sched/tetris/internal/nm"
 	"github.com/tetris-sched/tetris/internal/rm"
 )
@@ -30,17 +31,29 @@ func main() {
 		compression = flag.Float64("compression", 100, "time compression factor")
 		seed        = flag.Int64("seed", 42, "workload seed")
 		verbose     = flag.Bool("v", false, "verbose RM/NM logging")
+
+		nodeTimeout = flag.Duration("node-timeout", 0, "declare a node dead after this heartbeat silence (0 = off)")
+		killNode    = flag.Int("kill-node", -1, "node ID to kill mid-run (-1 = none; requires -node-timeout)")
+		killAfter   = flag.Duration("kill-after", time.Second, "when to kill -kill-node")
+		reviveAfter = flag.Duration("revive-after", 0, "start a replacement NM this long after the kill (0 = never)")
 	)
 	flag.Parse()
+	if *killNode >= 0 && *nodeTimeout <= 0 {
+		log.Fatal("-kill-node needs -node-timeout, or the RM will wait on the dead node forever")
+	}
+	if *killNode >= *nodes {
+		log.Fatalf("-kill-node %d out of range (%d nodes)", *killNode, *nodes)
+	}
 
 	var logger *log.Logger
 	if *verbose {
 		logger = log.New(os.Stderr, "", log.Lmicroseconds)
 	}
 	srv, err := rm.New("127.0.0.1:0", rm.Config{
-		Scheduler: tetris.NewScheduler(tetris.DefaultConfig()),
-		Estimator: tetris.NewEstimator(),
-		Logger:    logger,
+		Scheduler:   tetris.NewScheduler(tetris.DefaultConfig()),
+		Estimator:   tetris.NewEstimator(),
+		Logger:      logger,
+		NodeTimeout: *nodeTimeout,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -53,23 +66,55 @@ func main() {
 
 	capVec := tetris.NewVector(16, 32, 200, 200, 1000, 1000)
 	var nmWG sync.WaitGroup
-	for i := 0; i < *nodes; i++ {
+	runNM := func(nodeCtx context.Context, id int) {
 		node := nm.New(nm.Config{
-			NodeID:      i,
+			NodeID:      id,
 			Capacity:    capVec,
 			RMAddr:      srv.Addr(),
 			Compression: *compression,
 			Logger:      logger,
 		})
 		nmWG.Add(1)
-		go func(id int) {
+		go func() {
 			defer nmWG.Done()
-			if err := node.Run(ctx); err != nil && ctx.Err() == nil {
+			if err := node.Run(nodeCtx); err != nil && nodeCtx.Err() == nil {
 				log.Printf("nm %d: %v", id, err)
 			}
-		}(i)
+		}()
+	}
+	victimCtx, killVictim := context.WithCancel(ctx)
+	defer killVictim()
+	for i := 0; i < *nodes; i++ {
+		if i == *killNode {
+			runNM(victimCtx, i)
+		} else {
+			runNM(ctx, i)
+		}
 	}
 	fmt.Printf("%d node managers running (%.0f× time compression)\n", *nodes, *compression)
+
+	if *killNode >= 0 {
+		revive := *reviveAfter
+		kill, id := *killAfter, *killNode
+		go func() {
+			select {
+			case <-time.After(kill):
+				fmt.Printf("killing node manager %d\n", id)
+				killVictim()
+			case <-ctx.Done():
+				return
+			}
+			if revive <= 0 {
+				return
+			}
+			select {
+			case <-time.After(revive):
+				fmt.Printf("starting replacement node manager %d\n", id)
+				runNM(ctx, id)
+			case <-ctx.Done():
+			}
+		}()
+	}
 
 	wl := tetris.GenerateWorkload(tetris.TraceConfig{
 		Seed:        *seed,
@@ -110,6 +155,20 @@ func main() {
 	nmMean, nmMax, amMean, amMax := srv.HeartbeatStats()
 	fmt.Printf("RM heartbeat cost: NM mean %.0fµs max %.0fµs; AM mean %.0fµs max %.0fµs\n",
 		nmMean*1e6, nmMax*1e6, amMean*1e6, amMax*1e6)
+	if ev := srv.FaultEvents(); len(ev) > 0 {
+		st := srv.ClusterStatus()
+		fmt.Printf("cluster: %d/%d nodes live\n", len(st.Live), st.Nodes)
+		for _, e := range ev {
+			switch e.Kind {
+			case faults.MachineCrash:
+				fmt.Printf("fault: t=%-6.1f node %d crashed, %d task attempts reclaimed\n",
+					e.Time, e.Machine, e.TasksKilled)
+			case faults.MachineRecover:
+				fmt.Printf("fault: t=%-6.1f node %d recovered after %.1fs down\n",
+					e.Time, e.Machine, e.Downtime)
+			}
+		}
+	}
 	cancel()
 	nmWG.Wait()
 }

@@ -34,6 +34,13 @@ func main() {
 		epsMult   = flag.Float64("eps", 1, "tetris ε multiplier m")
 		compare   = flag.Bool("compare", false, "also run slot-fair and DRF and print gains")
 		failures  = flag.Float64("failures", 0, "task failure probability (re-executed on failure)")
+
+		chaos      = flag.Float64("chaos", 0, "fraction of machines to crash and recover (0 = off)")
+		chaosSeed  = flag.Int64("chaos-seed", 7, "fault-plan seed (same seed → bit-identical run)")
+		mttr       = flag.Float64("mttr", 60, "mean machine downtime in seconds")
+		stragglers = flag.Float64("stragglers", 0, "per-attempt straggler probability")
+		stragFact  = flag.Float64("straggler-factor", 0.5, "straggler speed factor (fraction of full speed)")
+		maxAttempt = flag.Int("max-attempts", 0, "per-task attempt cap; the job is abandoned past it (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -62,12 +69,31 @@ func main() {
 		}
 	}
 
+	var plan *tetris.FaultPlan
+	if *chaos > 0 || *stragglers > 0 {
+		horizon := *span
+		if horizon <= 0 {
+			horizon = 1000
+		}
+		plan = tetris.GenerateFaultPlan(tetris.FaultPlanConfig{
+			Seed:            *chaosSeed,
+			Machines:        *machines,
+			Horizon:         horizon,
+			CrashFraction:   *chaos,
+			MeanDowntime:    *mttr,
+			StragglerProb:   *stragglers,
+			StragglerFactor: *stragFact,
+		})
+	}
+
 	run := func(name string) *tetris.Result {
 		res, err := tetris.Simulate(tetris.SimConfig{
 			Cluster:         tetris.NewFacebookCluster(*machines),
 			Workload:        wl,
 			Scheduler:       mkSched(name),
 			TaskFailureProb: *failures,
+			FaultPlan:       plan,
+			MaxTaskAttempts: *maxAttempt,
 		})
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
@@ -86,6 +112,20 @@ func main() {
 	fmt.Printf("locality      %.0f%% of input bytes read locally\n", 100*res.LocalityFraction())
 	if *failures > 0 {
 		fmt.Printf("failures      %d task attempts failed and re-ran\n", res.FailedAttempts)
+	}
+	if plan != nil {
+		st := res.RecoveryStats()
+		fmt.Printf("chaos         %d crashes, %d recoveries, %d task attempts killed\n",
+			st.Crashes, st.Recoveries, st.TasksKilled)
+		if st.Recoveries > 0 {
+			fmt.Printf("downtime      %.0f s mean, %.0f s max\n", st.MeanDowntime, st.MaxDowntime)
+		}
+		if res.Stragglers > 0 {
+			fmt.Printf("stragglers    %d task attempts injected\n", res.Stragglers)
+		}
+		if len(res.KilledJobs) > 0 {
+			fmt.Printf("killed jobs   %v (exceeded -max-attempts %d)\n", res.KilledJobs, *maxAttempt)
+		}
 	}
 
 	if *compare && *schedName == "tetris" {

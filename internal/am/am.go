@@ -8,8 +8,10 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"strings"
 	"time"
 
+	"github.com/tetris-sched/tetris/internal/faults"
 	"github.com/tetris-sched/tetris/internal/wire"
 	"github.com/tetris-sched/tetris/internal/workload"
 )
@@ -20,6 +22,12 @@ type Config struct {
 	Job    *workload.Job
 	// Poll interval (default 50 ms).
 	Poll time.Duration
+	// MaxReconnects bounds consecutive failed reconnect attempts after
+	// the RM link drops mid-poll (exponential backoff with jitter between
+	// tries). 0 means the default of 10; negative disables reconnection.
+	// The initial dial and submission are never retried: a job that
+	// cannot even be submitted should fail fast.
+	MaxReconnects int
 }
 
 // Result is the outcome of one job run.
@@ -33,7 +41,42 @@ type Result struct {
 	Wall time.Duration
 }
 
+// rmConn is one TCP link to the RM whose reads unblock on ctx
+// cancellation.
+type rmConn struct {
+	conn net.Conn
+	stop func() bool
+}
+
+func dialRM(ctx context.Context, addr string) (*rmConn, error) {
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+	return &rmConn{conn: conn, stop: stop}, nil
+}
+
+func (c *rmConn) close() {
+	c.stop()
+	c.conn.Close()
+}
+
+// call performs one request/reply exchange.
+func (c *rmConn) call(m *wire.Message) (*wire.Message, error) {
+	if err := wire.Write(c.conn, m); err != nil {
+		return nil, err
+	}
+	return wire.Read(c.conn)
+}
+
 // Run submits the job and blocks until it finishes or ctx is canceled.
+// A transport failure mid-poll (RM restart, network partition) is
+// retried: the AM re-dials with exponential backoff plus jitter and
+// resubmits the job — an RM that kept its state answers "already
+// submitted" and polling resumes; a restarted RM accepts the job anew.
+// Definitive RM rejections (protocol errors) are never retried.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Job == nil {
 		return nil, fmt.Errorf("am: job is required")
@@ -41,27 +84,29 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Poll == 0 {
 		cfg.Poll = 50 * time.Millisecond
 	}
-	d := net.Dialer{}
-	conn, err := d.DialContext(ctx, "tcp", cfg.RMAddr)
+	maxRetry := cfg.MaxReconnects
+	if maxRetry == 0 {
+		maxRetry = 10
+	}
+	// The initial dial and submission fail fast: a job that cannot even
+	// be submitted should surface immediately.
+	conn, err := dialRM(ctx, cfg.RMAddr)
 	if err != nil {
 		return nil, fmt.Errorf("am: dial: %w", err)
 	}
-	defer conn.Close()
-	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
-	defer stop()
+	defer func() { conn.close() }()
 
 	start := time.Now()
-	if err := wire.Write(conn, &wire.Message{Type: wire.TypeSubmitJob, SubmitJob: &wire.SubmitJob{Job: cfg.Job}}); err != nil {
-		return nil, fmt.Errorf("am: submit: %w", err)
-	}
-	reply, err := wire.Read(conn)
+	submitMsg := &wire.Message{Type: wire.TypeSubmitJob, SubmitJob: &wire.SubmitJob{Job: cfg.Job}}
+	reply, err := conn.call(submitMsg)
 	if err != nil {
-		return nil, fmt.Errorf("am: submit reply: %w", err)
+		return nil, fmt.Errorf("am: submit: %w", err)
 	}
 	if reply.Type == wire.TypeError {
 		return nil, fmt.Errorf("am: rm rejected job: %s", reply.Error)
 	}
 
+	bo := faults.NewBackoff(100*time.Millisecond, 5*time.Second, int64(cfg.Job.ID)+1)
 	ticker := time.NewTicker(cfg.Poll)
 	defer ticker.Stop()
 	for {
@@ -70,24 +115,71 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			return nil, ctx.Err()
 		case <-ticker.C:
 		}
-		if err := wire.Write(conn, &wire.Message{Type: wire.TypeAMHeartbeat, AMHeartbeat: &wire.AMHeartbeat{JobID: cfg.Job.ID}}); err != nil {
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-			return nil, fmt.Errorf("am: poll: %w", err)
-		}
-		reply, err := wire.Read(conn)
+		reply, err := conn.call(&wire.Message{Type: wire.TypeAMHeartbeat, AMHeartbeat: &wire.AMHeartbeat{JobID: cfg.Job.ID}})
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
-			return nil, fmt.Errorf("am: poll reply: %w", err)
+			if maxRetry < 0 {
+				return nil, fmt.Errorf("am: poll: %w", err)
+			}
+			conn.close()
+			next, rerr := reconnect(ctx, cfg, bo, maxRetry, err)
+			if rerr != nil {
+				return nil, rerr
+			}
+			conn = next
+			bo.Reset()
+			continue
 		}
 		if reply.Type == wire.TypeError {
 			return nil, fmt.Errorf("am: rm error: %s", reply.Error)
 		}
 		if r := reply.AMReply; r != nil && r.Finished {
+			if r.Failed {
+				return nil, fmt.Errorf("am: job %d failed: a task exhausted its attempt cap under node failures", cfg.Job.ID)
+			}
 			return &Result{JobID: cfg.Job.ID, FinishedAt: r.FinishedAt, Wall: time.Since(start)}, nil
 		}
+	}
+}
+
+// reconnect re-establishes the RM link after a mid-poll transport
+// failure and resubmits the job so a restarted RM relearns it. Returns
+// the new connection, or an error once the retry budget is spent, the
+// context ends, or the RM definitively rejects the resubmission.
+func reconnect(ctx context.Context, cfg Config, bo *faults.Backoff, maxRetry int, cause error) (*rmConn, error) {
+	lastErr := cause
+	for {
+		if bo.Attempts() >= maxRetry {
+			return nil, fmt.Errorf("am: rm unreachable after %d reconnect attempts: %w", bo.Attempts(), lastErr)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(bo.Next()):
+		}
+		c, err := dialRM(ctx, cfg.RMAddr)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		reply, err := c.call(&wire.Message{Type: wire.TypeSubmitJob, SubmitJob: &wire.SubmitJob{Job: cfg.Job}})
+		if err != nil {
+			c.close()
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		if reply.Type == wire.TypeError && !strings.Contains(reply.Error, "already submitted") {
+			c.close()
+			return nil, fmt.Errorf("am: rm rejected resubmission: %s", reply.Error)
+		}
+		return c, nil
 	}
 }

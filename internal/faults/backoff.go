@@ -1,0 +1,77 @@
+package faults
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff produces exponentially growing delays with multiplicative
+// jitter, for reconnect loops (NM→RM, AM→RM). Jitter prevents a
+// cluster's worth of node managers from reconnecting in lockstep after
+// an RM restart (thundering herd).
+type Backoff struct {
+	// Base is the first delay (default 100 ms).
+	Base time.Duration
+	// Max caps the delay (default 5 s).
+	Max time.Duration
+	// Jitter is the fraction of each delay randomized: the returned
+	// delay is uniform in [d·(1−Jitter), d·(1+Jitter)] (default 0.2).
+	Jitter float64
+	// Rand supplies the jitter randomness; nil lazily seeds from Seed.
+	Rand *rand.Rand
+	// Seed seeds the lazy Rand (default 1); set per node ID so a fleet
+	// of NMs jitters apart deterministically.
+	Seed int64
+
+	attempt int
+}
+
+// NewBackoff returns a Backoff with the given base and cap, 20% jitter,
+// and a deterministic jitter stream derived from seed.
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	return &Backoff{Base: base, Max: max, Seed: seed}
+}
+
+// Next returns the delay before the next attempt and advances the
+// schedule: base·2^attempt, capped at Max, jittered.
+func (b *Backoff) Next() time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	jitter := b.Jitter
+	if jitter == 0 {
+		jitter = 0.2
+	}
+	if b.Rand == nil {
+		seed := b.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		b.Rand = rand.New(rand.NewSource(seed))
+	}
+	d := base << uint(b.attempt)
+	if d > max || d < base { // d < base on shift overflow
+		d = max
+	}
+	if b.attempt < 62 {
+		b.attempt++
+	}
+	f := 1 + jitter*(2*b.Rand.Float64()-1)
+	d = time.Duration(float64(d) * f)
+	if d < 0 {
+		d = base
+	}
+	return d
+}
+
+// Attempts returns how many delays have been handed out since the last
+// Reset.
+func (b *Backoff) Attempts() int { return b.attempt }
+
+// Reset restarts the schedule after a successful attempt.
+func (b *Backoff) Reset() { b.attempt = 0 }

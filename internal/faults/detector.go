@@ -1,0 +1,47 @@
+package faults
+
+import "sort"
+
+// Detector is a heartbeat-timeout failure detector: a node that has not
+// beaten for longer than the timeout is declared dead. The resource
+// manager feeds it from heartbeat processing and asks for expirations;
+// time is the caller's clock (seconds), so tests drive it
+// deterministically. Not safe for concurrent use — callers serialize
+// (the RM holds its mutex).
+type Detector struct {
+	timeout  float64
+	lastSeen map[int]float64
+}
+
+// NewDetector creates a detector declaring nodes dead after timeout
+// seconds of silence.
+func NewDetector(timeout float64) *Detector {
+	return &Detector{timeout: timeout, lastSeen: make(map[int]float64)}
+}
+
+// Beat records life from a node at the given time.
+func (d *Detector) Beat(id int, now float64) { d.lastSeen[id] = now }
+
+// Forget stops tracking a node (it deregistered or was declared dead;
+// a later Beat re-arms it).
+func (d *Detector) Forget(id int) { delete(d.lastSeen, id) }
+
+// Expired returns, in ascending ID order, the nodes whose last beat is
+// older than the timeout, and stops tracking them — each death is
+// reported exactly once until the node beats again.
+func (d *Detector) Expired(now float64) []int {
+	var out []int
+	for id, at := range d.lastSeen {
+		if now-at > d.timeout {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	for _, id := range out {
+		delete(d.lastSeen, id)
+	}
+	return out
+}
+
+// Tracked returns the number of nodes currently considered alive.
+func (d *Detector) Tracked() int { return len(d.lastSeen) }

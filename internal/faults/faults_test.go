@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := PlanConfig{
+		Seed: 7, Machines: 50, Horizon: 5000,
+		CrashFraction: 0.2, SlowdownFraction: 0.1,
+		StragglerProb: 0.05,
+	}
+	a, b := Generate(cfg), Generate(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical configs produced different plans")
+	}
+	if a.Crashes() != 10 {
+		t.Errorf("crashes = %d, want 10 (20%% of 50)", a.Crashes())
+	}
+	if err := a.Validate(50); err != nil {
+		t.Errorf("generated plan invalid: %v", err)
+	}
+	c := Generate(PlanConfig{Seed: 8, Machines: 50, Horizon: 5000, CrashFraction: 0.2})
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Error("different seeds produced identical event lists")
+	}
+}
+
+func TestGenerateRoundsUp(t *testing.T) {
+	p := Generate(PlanConfig{Seed: 1, Machines: 10, Horizon: 100, CrashFraction: 0.01})
+	if p.Crashes() != 1 {
+		t.Errorf("crashes = %d, want 1 (any positive fraction injects)", p.Crashes())
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"machine out of range", Plan{Events: []Event{{Time: 1, Kind: MachineCrash, Machine: 5}}}},
+		{"double crash", Plan{Events: []Event{
+			{Time: 1, Kind: MachineCrash, Machine: 0},
+			{Time: 2, Kind: MachineCrash, Machine: 0},
+		}}},
+		{"recover while up", Plan{Events: []Event{{Time: 1, Kind: MachineRecover, Machine: 0}}}},
+		{"out of order", Plan{Events: []Event{
+			{Time: 5, Kind: MachineCrash, Machine: 0},
+			{Time: 1, Kind: MachineRecover, Machine: 0},
+		}}},
+		{"bad slowdown factor", Plan{Events: []Event{{Time: 1, Kind: SlowdownStart, Machine: 0, Factor: 1.5}}}},
+		{"negative time", Plan{Events: []Event{{Time: -1, Kind: MachineCrash, Machine: 0}}}},
+		{"bad straggler prob", Plan{StragglerProb: 2}},
+	}
+	for _, c := range cases {
+		if err := c.plan.Validate(3); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	good := Plan{Events: []Event{
+		{Time: 1, Kind: MachineCrash, Machine: 0},
+		{Time: 2, Kind: MachineRecover, Machine: 0},
+		{Time: 2, Kind: SlowdownStart, Machine: 1, Factor: 0.5},
+		{Time: 9, Kind: SlowdownEnd, Machine: 1},
+	}}
+	if err := good.Validate(3); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	log := []Record{
+		{Time: 10, Kind: MachineCrash, Machine: 0, TasksKilled: 3},
+		{Time: 15, Kind: MachineCrash, Machine: 1, TasksKilled: 2},
+		{Time: 30, Kind: MachineRecover, Machine: 0, Downtime: 20},
+		{Time: 55, Kind: MachineRecover, Machine: 1, Downtime: 40},
+	}
+	st := Summarize(log)
+	if st.Crashes != 2 || st.Recoveries != 2 || st.TasksKilled != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MeanDowntime != 30 || st.MaxDowntime != 40 {
+		t.Errorf("downtime stats = %+v", st)
+	}
+}
+
+func TestDetector(t *testing.T) {
+	d := NewDetector(5)
+	d.Beat(0, 0)
+	d.Beat(1, 0)
+	d.Beat(2, 3)
+	if got := d.Expired(4); got != nil {
+		t.Errorf("expired at t=4: %v", got)
+	}
+	got := d.Expired(6)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("expired at t=6: %v, want [0 1]", got)
+	}
+	// Deaths are reported once.
+	if got := d.Expired(7); got != nil {
+		t.Errorf("re-reported deaths: %v", got)
+	}
+	// A beat re-arms the node.
+	d.Beat(0, 7)
+	if got := d.Expired(20); len(got) != 2 {
+		t.Errorf("expired at t=20: %v, want [0 2]", got)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, time.Second, 3)
+	prev := time.Duration(0)
+	for i := 0; i < 10; i++ {
+		d := b.Next()
+		if d < 80*time.Millisecond || d > 1200*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v outside jittered [base, max]", i, d)
+		}
+		if i < 3 && d < prev {
+			t.Fatalf("attempt %d: delay %v shrank before reaching cap", i, d)
+		}
+		prev = d
+	}
+	b.Reset()
+	if d := b.Next(); d > 150*time.Millisecond {
+		t.Errorf("after reset: delay %v, want near base", d)
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	a := NewBackoff(50*time.Millisecond, time.Second, 42)
+	b := NewBackoff(50*time.Millisecond, time.Second, 42)
+	for i := 0; i < 5; i++ {
+		if da, db := a.Next(), b.Next(); da != db {
+			t.Fatalf("attempt %d: %v != %v with equal seeds", i, da, db)
+		}
+	}
+}

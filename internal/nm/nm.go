@@ -10,12 +10,14 @@ package nm
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net"
 	"sync"
 	"time"
 
+	"github.com/tetris-sched/tetris/internal/faults"
 	"github.com/tetris-sched/tetris/internal/resources"
 	"github.com/tetris-sched/tetris/internal/tokenbucket"
 	"github.com/tetris-sched/tetris/internal/tracker"
@@ -33,6 +35,11 @@ type Config struct {
 	// Compression divides task durations: a factor of 50 runs a 100 s
 	// task in 2 s of wall time (default 50).
 	Compression float64
+	// MaxReconnects bounds consecutive failed reconnect attempts after
+	// the RM link drops (exponential backoff with jitter between tries).
+	// 0 means the default of 10; negative disables reconnection — the
+	// first link failure is fatal, the pre-fault-tolerance behavior.
+	MaxReconnects int
 	// Logger for diagnostics; nil discards.
 	Logger *log.Logger
 }
@@ -44,6 +51,7 @@ type Node struct {
 	tracker *tracker.Tracker
 	diskR   *tokenbucket.Bucket
 	diskW   *tokenbucket.Bucket
+	start   time.Time // emulated-clock epoch, stable across reconnects
 
 	mu        sync.Mutex
 	completed []wire.TaskCompletion
@@ -62,7 +70,7 @@ func New(cfg Config) *Node {
 	if cfg.Logger == nil {
 		cfg.Logger = log.New(discard{}, "", 0)
 	}
-	n := &Node{cfg: cfg, log: cfg.Logger, tracker: tracker.New(cfg.Capacity)}
+	n := &Node{cfg: cfg, log: cfg.Logger, tracker: tracker.New(cfg.Capacity), start: time.Now()}
 	// Token buckets police compressed-time byte rates: capacity MB/s ×
 	// compression, bursts of one second's worth.
 	rRate := cfg.Capacity.Get(resources.DiskRead) * cfg.Compression
@@ -93,11 +101,58 @@ func (n *Node) Launched() int {
 }
 
 // Run connects to the RM and heartbeats until the context is canceled.
+// When the RM link drops (RM restart, network partition), the node
+// reconnects with exponential backoff plus jitter and re-registers;
+// completions recorded while disconnected are delivered on the first
+// heartbeat after reconnecting. A definitive RM rejection is fatal.
 func (n *Node) Run(ctx context.Context) error {
+	maxRetry := n.cfg.MaxReconnects
+	if maxRetry == 0 {
+		maxRetry = 10
+	}
+	// Seed the jitter per node so a mass reconnect after an RM restart
+	// doesn't stampede in lockstep.
+	bo := faults.NewBackoff(100*time.Millisecond, 5*time.Second, int64(n.cfg.NodeID)+1)
+	for {
+		registered, err := n.session(ctx)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var fe *fatalError
+		if errors.As(err, &fe) {
+			return fe.err
+		}
+		if registered {
+			// The link worked; a fresh failure gets a fresh retry budget.
+			bo.Reset()
+		}
+		if maxRetry < 0 || bo.Attempts() >= maxRetry {
+			return err
+		}
+		d := bo.Next()
+		n.log.Printf("nm %d: link lost (%v), reconnecting in %v", n.cfg.NodeID, err, d)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(d):
+		}
+	}
+}
+
+// fatalError marks an RM rejection that reconnecting cannot fix.
+type fatalError struct{ err error }
+
+func (e *fatalError) Error() string { return e.err.Error() }
+func (e *fatalError) Unwrap() error { return e.err }
+
+// session runs one RM connection — dial, register, heartbeat — until the
+// link breaks or ctx ends. registered reports whether registration
+// succeeded, which refreshes the caller's reconnect budget.
+func (n *Node) session(ctx context.Context) (registered bool, err error) {
 	d := net.Dialer{}
 	conn, err := d.DialContext(ctx, "tcp", n.cfg.RMAddr)
 	if err != nil {
-		return fmt.Errorf("nm %d: dial: %w", n.cfg.NodeID, err)
+		return false, fmt.Errorf("nm %d: dial: %w", n.cfg.NodeID, err)
 	}
 	defer conn.Close()
 	// Unblock reads when the context is canceled.
@@ -107,24 +162,26 @@ func (n *Node) Run(ctx context.Context) error {
 	if err := wire.Write(conn, &wire.Message{Type: wire.TypeRegisterNM, RegisterNM: &wire.RegisterNM{
 		NodeID: n.cfg.NodeID, Capacity: n.cfg.Capacity,
 	}}); err != nil {
-		return fmt.Errorf("nm %d: register: %w", n.cfg.NodeID, err)
+		return false, fmt.Errorf("nm %d: register: %w", n.cfg.NodeID, err)
 	}
-	if _, err := wire.Read(conn); err != nil {
-		return fmt.Errorf("nm %d: register reply: %w", n.cfg.NodeID, err)
+	reply, err := wire.Read(conn)
+	if err != nil {
+		return false, fmt.Errorf("nm %d: register reply: %w", n.cfg.NodeID, err)
+	}
+	if reply.Type == wire.TypeError {
+		return false, &fatalError{fmt.Errorf("nm %d: registration rejected: %s", n.cfg.NodeID, reply.Error)}
 	}
 	n.log.Printf("nm %d: registered with %s", n.cfg.NodeID, n.cfg.RMAddr)
 
 	ticker := time.NewTicker(n.cfg.Heartbeat)
 	defer ticker.Stop()
-	start := time.Now()
 	for {
 		select {
 		case <-ctx.Done():
-			return ctx.Err()
+			return true, ctx.Err()
 		case <-ticker.C:
 		}
-		now := time.Since(start).Seconds() * n.cfg.Compression
-		rep := n.tracker.ReportAt(now)
+		rep := n.tracker.ReportAt(n.clock())
 		n.mu.Lock()
 		done := n.completed
 		n.completed = nil
@@ -137,38 +194,49 @@ func (n *Node) Run(ctx context.Context) error {
 			Completed: done,
 		}
 		if err := wire.Write(conn, &wire.Message{Type: wire.TypeNMHeartbeat, NMHeartbeat: hb}); err != nil {
-			return n.ctxErr(ctx, fmt.Errorf("nm %d: heartbeat: %w", n.cfg.NodeID, err))
+			n.requeue(done)
+			return true, fmt.Errorf("nm %d: heartbeat: %w", n.cfg.NodeID, err)
 		}
 		reply, err := wire.Read(conn)
 		if err != nil {
-			return n.ctxErr(ctx, fmt.Errorf("nm %d: heartbeat reply: %w", n.cfg.NodeID, err))
+			n.requeue(done)
+			return true, fmt.Errorf("nm %d: heartbeat reply: %w", n.cfg.NodeID, err)
 		}
 		if reply.Type == wire.TypeError {
-			return fmt.Errorf("nm %d: rm error: %s", n.cfg.NodeID, reply.Error)
+			// E.g. "unregistered node" from an RM that restarted and lost
+			// state: reconnecting re-registers, so it is retryable.
+			return true, fmt.Errorf("nm %d: rm error: %s", n.cfg.NodeID, reply.Error)
 		}
 		if reply.NMReply != nil {
 			for _, l := range reply.NMReply.Launch {
-				n.launch(ctx, l, start)
+				n.launch(ctx, l)
 			}
 		}
 	}
 }
 
-// ctxErr prefers the context's error when the failure was caused by
-// cancellation (the deadline hook closes the socket).
-func (n *Node) ctxErr(ctx context.Context, err error) error {
-	if ctx.Err() != nil {
-		return ctx.Err()
+// requeue puts undelivered completions back at the head of the buffer so
+// the next successful heartbeat reports them.
+func (n *Node) requeue(done []wire.TaskCompletion) {
+	if len(done) == 0 {
+		return
 	}
-	return err
+	n.mu.Lock()
+	n.completed = append(done, n.completed...)
+	n.mu.Unlock()
+}
+
+// clock returns the node's emulated time: compressed seconds since the
+// node was created (stable across RM reconnects).
+func (n *Node) clock() float64 {
+	return time.Since(n.start).Seconds() * n.cfg.Compression
 }
 
 // launch emulates one task: it occupies its declared resources in the
 // tracker for its compressed duration, moving its bytes through the
 // node's token buckets to enforce the allocated rates.
-func (n *Node) launch(ctx context.Context, l wire.TaskLaunch, start time.Time) {
-	now := time.Since(start).Seconds() * n.cfg.Compression
-	n.tracker.Start(l.Task, l.Demand, now)
+func (n *Node) launch(ctx context.Context, l wire.TaskLaunch) {
+	n.tracker.Start(l.Task, l.Demand, n.clock())
 	n.mu.Lock()
 	n.running++
 	n.launched++

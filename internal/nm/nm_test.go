@@ -10,10 +10,12 @@ import (
 
 	"github.com/tetris-sched/tetris/internal/am"
 	"github.com/tetris-sched/tetris/internal/estimator"
+	"github.com/tetris-sched/tetris/internal/faults"
 	"github.com/tetris-sched/tetris/internal/nm"
 	"github.com/tetris-sched/tetris/internal/resources"
 	"github.com/tetris-sched/tetris/internal/rm"
 	"github.com/tetris-sched/tetris/internal/scheduler"
+	"github.com/tetris-sched/tetris/internal/testutil"
 	"github.com/tetris-sched/tetris/internal/workload"
 )
 
@@ -141,7 +143,9 @@ func TestNMCancellation(t *testing.T) {
 	n := nm.New(nm.Config{NodeID: 0, Capacity: resources.New(4, 8, 0, 0, 0, 0), RMAddr: srv.Addr()})
 	done := make(chan error, 1)
 	go func() { done <- n.Run(ctx) }()
-	time.Sleep(100 * time.Millisecond)
+	testutil.WaitFor(t, 5*time.Second, "NM registered with RM", func() bool {
+		return srv.LiveNodes() == 1
+	})
 	cancel()
 	select {
 	case err := <-done:
@@ -151,6 +155,112 @@ func TestNMCancellation(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("NM did not exit on cancel")
 	}
+}
+
+// TestEndToEndNodeFailure is the chaos e2e: RM plus three NMs, one NM is
+// killed mid-job. The RM must detect the death, reclaim the node's tasks
+// onto the survivors, and the job must still finish; when a fresh NM
+// rejoins under the dead node's ID, the live-machine count recovers.
+func TestEndToEndNodeFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos e2e skipped in -short mode")
+	}
+	srv, err := rm.New("127.0.0.1:0", rm.Config{
+		Scheduler:   scheduler.NewTetris(scheduler.DefaultTetrisConfig()),
+		NodeTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	capVec := resources.New(16, 32, 200, 200, 1000, 1000)
+	mkNode := func(id int) *nm.Node {
+		return nm.New(nm.Config{
+			NodeID: id, Capacity: capVec, RMAddr: srv.Addr(),
+			Heartbeat: 20 * time.Millisecond, Compression: 100,
+		})
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		n := mkNode(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n.Run(ctx)
+		}()
+	}
+	victimCtx, killVictim := context.WithCancel(ctx)
+	victim := mkNode(2)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		victim.Run(victimCtx)
+	}()
+	testutil.WaitFor(t, 10*time.Second, "3 nodes registered", func() bool {
+		return srv.LiveNodes() == 3
+	})
+
+	// 24 tasks × 2 cores × 100 s (1 s compressed): memory caps each node
+	// at 8 tasks, so the first wave spans all three nodes — the victim is
+	// guaranteed work — and the kill lands mid-job.
+	amDone := make(chan error, 1)
+	go func() {
+		_, err := am.Run(ctx, am.Config{
+			RMAddr: srv.Addr(),
+			Job:    mkJob(0, 24, 2, 4, 100),
+			Poll:   20 * time.Millisecond,
+		})
+		amDone <- err
+	}()
+
+	// Kill the victim once it is actually running tasks.
+	testutil.WaitFor(t, 20*time.Second, "victim node received tasks", func() bool {
+		return victim.Launched() > 0
+	})
+	killVictim()
+	testutil.WaitFor(t, 10*time.Second, "RM detected the dead node", func() bool {
+		return srv.LiveNodes() == 2
+	})
+
+	// A replacement NM rejoins under the same node ID.
+	replacement := mkNode(2)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		replacement.Run(ctx)
+	}()
+	testutil.WaitFor(t, 10*time.Second, "replacement node rejoined", func() bool {
+		return srv.LiveNodes() == 3
+	})
+
+	select {
+	case err := <-amDone:
+		if err != nil {
+			t.Fatalf("job did not survive the node failure: %v", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("job did not finish in time after the node failure")
+	}
+
+	ev := srv.FaultEvents()
+	var crashes, recoveries int
+	for _, e := range ev {
+		switch e.Kind {
+		case faults.MachineCrash:
+			crashes++
+		case faults.MachineRecover:
+			recoveries++
+		}
+	}
+	if crashes == 0 || recoveries == 0 {
+		t.Errorf("fault log = %+v, want at least one crash and one recovery", ev)
+	}
+	cancel()
+	wg.Wait()
 }
 
 func TestAMRejectsNilJob(t *testing.T) {

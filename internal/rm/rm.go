@@ -10,10 +10,12 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
 	"github.com/tetris-sched/tetris/internal/estimator"
+	"github.com/tetris-sched/tetris/internal/faults"
 	"github.com/tetris-sched/tetris/internal/resources"
 	"github.com/tetris-sched/tetris/internal/scheduler"
 	"github.com/tetris-sched/tetris/internal/stats"
@@ -28,6 +30,14 @@ type Config struct {
 	// Estimator supplies demand estimates from completions; nil disables
 	// estimation (declared demands are used as-is).
 	Estimator *estimator.Estimator
+	// NodeTimeout is the heartbeat silence after which a node is declared
+	// dead: its ledger is reclaimed and its tasks return to pending. Zero
+	// disables failure detection (nodes are trusted forever).
+	NodeTimeout time.Duration
+	// MaxTaskAttempts caps failed executions per task; when a task dies
+	// that many times (its nodes kept crashing), its whole job is
+	// abandoned and reported failed to the AM. Zero means unlimited.
+	MaxTaskAttempts int
 	// Logger for diagnostics; nil discards.
 	Logger *log.Logger
 }
@@ -38,14 +48,17 @@ type Server struct {
 	ln  net.Listener
 	log *log.Logger
 
-	mu       sync.Mutex
-	start    time.Time
-	machines map[int]*scheduler.MachineState
-	total    resources.Vector
-	jobs     map[int]*jobInfo
-	pending  map[int][]wire.TaskLaunch // queued launches per node
-	nmTimes  stats.Online
-	amTimes  stats.Online
+	mu        sync.Mutex
+	start     time.Time
+	machines  map[int]*scheduler.MachineState
+	total     resources.Vector
+	jobs      map[int]*jobInfo
+	pending   map[int][]wire.TaskLaunch // queued launches per node
+	detector  *faults.Detector          // nil when failure detection is off
+	downSince map[int]float64
+	faultLog  []faults.Record
+	nmTimes   stats.Online
+	amTimes   stats.Online
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -55,6 +68,7 @@ type jobInfo struct {
 	state      *scheduler.JobState
 	launched   map[workload.TaskID]launchRecord
 	finished   bool
+	failed     bool // abandoned: a task exhausted its attempt cap
 	finishedAt float64
 }
 
@@ -87,9 +101,32 @@ func New(addr string, cfg Config) (*Server, error) {
 	if s.log == nil {
 		s.log = log.New(discard{}, "", 0)
 	}
+	if cfg.NodeTimeout > 0 {
+		s.detector = faults.NewDetector(cfg.NodeTimeout.Seconds())
+		s.downSince = make(map[int]float64)
+		s.wg.Add(1)
+		go s.watchNodes(cfg.NodeTimeout / 4)
+	}
 	s.wg.Add(1)
 	go s.accept()
 	return s, nil
+}
+
+// watchNodes periodically sweeps for nodes whose heartbeats stopped.
+// Detection also runs on every NM heartbeat; this ticker catches the
+// case where the whole cluster but one node went silent.
+func (s *Server) watchNodes(every time.Duration) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-ticker.C:
+			s.CheckFailures()
+		}
+	}
 }
 
 type discard struct{}
@@ -150,6 +187,8 @@ func (s *Server) serve(conn net.Conn) {
 			reply = s.handleSubmitJob(m.SubmitJob)
 		case wire.TypeAMHeartbeat:
 			reply = s.HandleAMHeartbeat(m.AMHeartbeat)
+		case wire.TypeClusterStatus:
+			reply = s.handleClusterStatus()
 		default:
 			reply = &wire.Message{Type: wire.TypeError, Error: fmt.Sprintf("unknown message type %q", m.Type)}
 		}
@@ -165,15 +204,37 @@ func (s *Server) handleRegisterNM(r *wire.RegisterNM) *wire.Message {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.machines[r.NodeID]; ok {
-		// Re-registration (NM restart): keep the ledger.
-		s.machines[r.NodeID].Capacity = r.Capacity
+	if m, ok := s.machines[r.NodeID]; ok {
+		m.Capacity = r.Capacity
+		if m.Down {
+			// A dead node re-registering is a fresh NM: its tasks were
+			// already reclaimed, so it rejoins with an empty ledger.
+			m.Allocated = resources.Vector{}
+			m.Reported = resources.Vector{}
+			s.rejoin(r.NodeID)
+		}
 	} else {
 		s.machines[r.NodeID] = &scheduler.MachineState{ID: r.NodeID, Capacity: r.Capacity}
 		s.recomputeTotal()
 	}
+	if s.detector != nil {
+		s.detector.Beat(r.NodeID, s.now())
+	}
 	s.log.Printf("rm: node %d registered (%v)", r.NodeID, r.Capacity)
 	return &wire.Message{Type: wire.TypeNMReply, NMReply: &wire.NMReply{}}
+}
+
+// rejoin returns a presumed-dead node to service. Caller holds s.mu.
+func (s *Server) rejoin(id int) {
+	s.machines[id].Down = false
+	now := s.now()
+	rec := faults.Record{Time: now, Kind: faults.MachineRecover, Machine: id}
+	if since, ok := s.downSince[id]; ok {
+		rec.Downtime = now - since
+		delete(s.downSince, id)
+	}
+	s.faultLog = append(s.faultLog, rec)
+	s.log.Printf("rm: node %d rejoined after %.2fs down", id, rec.Downtime)
 }
 
 func (s *Server) recomputeTotal() {
@@ -225,10 +286,21 @@ func (s *Server) HandleNMHeartbeat(hb *wire.NMHeartbeat) *wire.Message {
 	if !ok {
 		return errMsg(fmt.Sprintf("unregistered node %d", hb.NodeID))
 	}
-	m.Reported = hb.Used
 	now := s.now()
+	if s.detector != nil {
+		s.detector.Beat(hb.NodeID, now)
+		if m.Down {
+			// The node was presumed dead but is merely slow; take it back.
+			// Its old tasks were reclaimed (and may rerun elsewhere), so it
+			// rejoins with a clean ledger.
+			m.Allocated = resources.Vector{}
+			s.rejoin(hb.NodeID)
+		}
+		s.checkFailures(now)
+	}
+	m.Reported = hb.Used
 	for _, c := range hb.Completed {
-		s.completeTask(c, now)
+		s.completeTask(c, hb.NodeID, now)
 	}
 	s.runScheduler()
 	launch := s.pending[hb.NodeID]
@@ -236,13 +308,15 @@ func (s *Server) HandleNMHeartbeat(hb *wire.NMHeartbeat) *wire.Message {
 	return &wire.Message{Type: wire.TypeNMReply, NMReply: &wire.NMReply{Launch: launch}}
 }
 
-func (s *Server) completeTask(c wire.TaskCompletion, now float64) {
+func (s *Server) completeTask(c wire.TaskCompletion, nodeID int, now float64) {
 	ji, ok := s.jobs[c.Task.Job]
-	if !ok {
+	if !ok || ji.failed {
 		return
 	}
 	rec, ok := ji.launched[c.Task]
-	if !ok {
+	if !ok || rec.machine != nodeID {
+		// No live launch on this node: the node was presumed dead and its
+		// attempt re-queued (possibly rerunning elsewhere already).
 		return
 	}
 	delete(ji.launched, c.Task)
@@ -264,6 +338,102 @@ func (s *Server) completeTask(c wire.TaskCompletion, now float64) {
 		ji.finishedAt = now
 		s.log.Printf("rm: job %d finished at %.2fs", c.Task.Job, now)
 	}
+}
+
+// CheckFailures sweeps for nodes whose heartbeats timed out and marks
+// them dead. It runs on every NM heartbeat and on the watch ticker;
+// exported so tests can force detection deterministically.
+func (s *Server) CheckFailures() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.checkFailures(s.now())
+}
+
+// checkFailures is CheckFailures with s.mu held.
+func (s *Server) checkFailures(now float64) {
+	if s.detector == nil {
+		return
+	}
+	for _, id := range s.detector.Expired(now) {
+		s.markDead(id, now)
+	}
+}
+
+// markDead declares a node failed: it is excluded from placement until
+// it rejoins, its queued launches are dropped, its ledger is zeroed, and
+// every task launched on it returns to pending as a failed attempt. A
+// job whose task exhausts Config.MaxTaskAttempts is abandoned. Caller
+// holds s.mu.
+func (s *Server) markDead(id int, now float64) {
+	m, ok := s.machines[id]
+	if !ok || m.Down {
+		return
+	}
+	m.Down = true
+	m.Allocated = resources.Vector{}
+	m.Reported = resources.Vector{}
+	if s.downSince != nil {
+		s.downSince[id] = now
+	}
+	delete(s.pending, id) // undelivered launches are reclaimed below
+	killed := 0
+	for jobID, ji := range s.jobs {
+		if ji.finished {
+			continue
+		}
+		for tid, rec := range ji.launched {
+			if rec.machine != id {
+				continue
+			}
+			delete(ji.launched, tid)
+			ji.state.Alloc = ji.state.Alloc.Sub(rec.local).Max(resources.Vector{})
+			for _, rc := range rec.remote {
+				if rm := s.machines[rc.Machine]; rm != nil && rc.Machine != id {
+					rm.Allocated = rm.Allocated.Sub(rc.Charge).Max(resources.Vector{})
+				}
+			}
+			ji.state.Status.MarkFailed(tid)
+			killed++
+			if cap := s.cfg.MaxTaskAttempts; cap > 0 && ji.state.Status.Attempts(tid) >= cap {
+				s.failJob(jobID, ji, now)
+			}
+		}
+	}
+	s.faultLog = append(s.faultLog, faults.Record{
+		Time: now, Kind: faults.MachineCrash, Machine: id, TasksKilled: killed,
+	})
+	s.log.Printf("rm: node %d declared dead, %d tasks reclaimed", id, killed)
+}
+
+// failJob abandons a job whose task kept dying: remaining ledger charges
+// are released, queued launches dropped, and the AM learns via
+// AMReply.Failed. Caller holds s.mu.
+func (s *Server) failJob(jobID int, ji *jobInfo, now float64) {
+	ji.failed = true
+	ji.finished = true
+	ji.finishedAt = now
+	for tid, rec := range ji.launched {
+		delete(ji.launched, tid)
+		if m := s.machines[rec.machine]; m != nil {
+			m.Allocated = m.Allocated.Sub(rec.local).Max(resources.Vector{})
+		}
+		for _, rc := range rec.remote {
+			if m := s.machines[rc.Machine]; m != nil {
+				m.Allocated = m.Allocated.Sub(rc.Charge).Max(resources.Vector{})
+			}
+		}
+	}
+	ji.state.Alloc = resources.Vector{}
+	for node, q := range s.pending {
+		kept := q[:0]
+		for _, l := range q {
+			if l.JobID != jobID {
+				kept = append(kept, l)
+			}
+		}
+		s.pending[node] = kept
+	}
+	s.log.Printf("rm: job %d abandoned after repeated task failures", jobID)
 }
 
 // runScheduler executes one scheduling round and queues the resulting
@@ -368,7 +538,56 @@ func (s *Server) HandleAMHeartbeat(hb *wire.AMHeartbeat) *wire.Message {
 		Total:      ji.state.Job.NumTasks(),
 		Finished:   ji.finished,
 		FinishedAt: ji.finishedAt,
+		Failed:     ji.failed,
 	}}
+}
+
+// handleClusterStatus answers a node-liveness and fault-log query.
+func (s *Server) handleClusterStatus() *wire.Message {
+	st := s.ClusterStatus()
+	return &wire.Message{Type: wire.TypeClusterStatusReply, ClusterStatus: &st}
+}
+
+// ClusterStatus snapshots node liveness and the fault-event log.
+func (s *Server) ClusterStatus() wire.ClusterStatusReply {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := wire.ClusterStatusReply{Nodes: len(s.machines)}
+	ids := make([]int, 0, len(s.machines))
+	for id := range s.machines {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if s.machines[id].Down {
+			st.Dead = append(st.Dead, id)
+		} else {
+			st.Live = append(st.Live, id)
+		}
+	}
+	st.Faults = append(st.Faults, s.faultLog...)
+	return st
+}
+
+// FaultEvents returns a copy of the RM's crash/recovery log.
+func (s *Server) FaultEvents() []faults.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]faults.Record(nil), s.faultLog...)
+}
+
+// LiveNodes returns the number of registered nodes not currently
+// presumed dead.
+func (s *Server) LiveNodes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, m := range s.machines {
+		if !m.Down {
+			n++
+		}
+	}
+	return n
 }
 
 // HeartbeatStats returns the mean and max observed processing times (in

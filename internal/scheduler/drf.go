@@ -49,8 +49,10 @@ func (d *DRF) Schedule(v *View) []Assignment {
 		return nil
 	}
 	free := make([]resources.Vector, len(v.Machines))
+	down := make([]bool, len(v.Machines))
 	for i, m := range v.Machines {
 		free[i] = d.project(m.FreeAllocated())
+		down[i] = m.Down
 	}
 	share := make(map[int]float64, len(jobs))
 	alloc := make(map[int]resources.Vector, len(jobs))
@@ -83,7 +85,7 @@ func (d *DRF) Schedule(v *View) []Assignment {
 		task := fetch[id].Peek()
 		peak, _ := v.Demand(pick, task)
 		demand := d.project(peak)
-		mid := d.pickMachine(task, demand, free)
+		mid := d.pickMachine(task, demand, free, down)
 		if mid < 0 {
 			blocked[id] = true
 			continue
@@ -107,17 +109,18 @@ func (d *DRF) Schedule(v *View) []Assignment {
 }
 
 // pickMachine prefers a machine holding task input, else the machine with
-// the most total free resources, provided the demand fits.
-func (d *DRF) pickMachine(task *workload.Task, demand resources.Vector, free []resources.Vector) int {
+// the most total free resources, provided the demand fits and the
+// machine is up.
+func (d *DRF) pickMachine(task *workload.Task, demand resources.Vector, free []resources.Vector, down []bool) int {
 	for _, b := range task.Inputs {
-		if b.Machine >= 0 && b.Machine < len(free) && demand.FitsIn(free[b.Machine]) {
+		if b.Machine >= 0 && b.Machine < len(free) && !down[b.Machine] && demand.FitsIn(free[b.Machine]) {
 			return b.Machine
 		}
 	}
 	best := -1
 	bestFree := -1.0
 	for i, f := range free {
-		if !demand.FitsIn(f) {
+		if down[i] || !demand.FitsIn(f) {
 			continue
 		}
 		if v := f.Sum(); v > bestFree {

@@ -94,3 +94,142 @@ func TestRandomizedSchedulingInvariants(t *testing.T) {
 		}
 	}
 }
+
+// churnJobs generates a deterministic job set for one churn trial (fresh
+// per scheduler, since scheduling mutates Status).
+func churnJobs(seed int64, nMach int) []*JobState {
+	r := rand.New(rand.NewSource(seed))
+	var jobs []*JobState
+	nJobs := 1 + r.Intn(3)
+	for jid := 0; jid < nJobs; jid++ {
+		j := &workload.Job{ID: jid, Weight: 1}
+		st := &workload.Stage{Name: "s"}
+		nTasks := 5 + r.Intn(20)
+		for i := 0; i < nTasks; i++ {
+			task := &workload.Task{
+				ID:   workload.TaskID{Job: jid, Stage: 0, Index: i},
+				Peak: resources.New(0.5+r.Float64()*4, 1+r.Float64()*8,
+					5+r.Float64()*40, 5+r.Float64()*40,
+					20+r.Float64()*200, 20+r.Float64()*200),
+				Work: workload.Work{CPUSeconds: 1 + r.Float64()*50},
+			}
+			if r.Float64() < 0.3 {
+				task.Inputs = []workload.InputBlock{{Machine: r.Intn(nMach), SizeMB: 10 + r.Float64()*500}}
+			}
+			st.Tasks = append(st.Tasks, task)
+		}
+		j.Stages = []*workload.Stage{st}
+		jobs = append(jobs, &JobState{Job: j, Status: workload.NewStatus(j)})
+	}
+	return jobs
+}
+
+// TestMachineChurnInvariants drives every scheduler through rounds of
+// random machine crashes and recoveries, mirroring the executors' crash
+// handling (a dead machine's tasks return to pending and its ledger is
+// zeroed). After every round: no new placement — local or remote charge —
+// lands on a Down machine, live machines never over-commit memory, and
+// Tetris's full multi-resource ledger stays within capacity.
+func TestMachineChurnInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	capVec := resources.New(16, 32, 200, 200, 1000, 1000)
+	type placed struct {
+		id      workload.TaskID
+		machine int
+		local   resources.Vector
+		remote  []RemoteCharge
+		job     *JobState
+	}
+	for trial := 0; trial < 25; trial++ {
+		nMach := 2 + r.Intn(5)
+		for _, sch := range []Scheduler{NewTetris(DefaultTetrisConfig()), NewSlotFair(), NewDRF()} {
+			jobs := churnJobs(int64(trial), nMach)
+			v := mkView(nMach, capVec, jobs...)
+			var running []placed
+			for round := 0; round < 6; round++ {
+				// Churn: flip each machine with probability 0.3.
+				for _, m := range v.Machines {
+					if r.Float64() < 0.3 {
+						m.Down = !m.Down
+					}
+				}
+				// Crash handling, as the sim and RM do it: a Down machine's
+				// tasks go back to pending and its ledger is reclaimed.
+				kept := running[:0]
+				for _, p := range running {
+					if v.Machines[p.machine].Down {
+						p.job.Status.MarkFailed(p.id)
+						p.job.Alloc = p.job.Alloc.Sub(p.local).Max(resources.Vector{})
+						for _, rc := range p.remote {
+							if !v.Machines[rc.Machine].Down {
+								v.Machines[rc.Machine].Allocated =
+									v.Machines[rc.Machine].Allocated.Sub(rc.Charge).Max(resources.Vector{})
+							}
+						}
+					} else {
+						kept = append(kept, p)
+					}
+				}
+				running = kept
+				for _, m := range v.Machines {
+					if m.Down {
+						m.Allocated = resources.Vector{}
+					}
+				}
+
+				for _, a := range sch.Schedule(v) {
+					if v.Machines[a.Machine].Down {
+						t.Fatalf("trial %d round %d %s: task %v placed on dead machine %d",
+							trial, round, sch.Name(), a.Task.ID, a.Machine)
+					}
+					for _, rc := range a.Remote {
+						if v.Machines[rc.Machine].Down {
+							t.Fatalf("trial %d round %d %s: remote charge for %v on dead machine %d",
+								trial, round, sch.Name(), a.Task.ID, rc.Machine)
+						}
+					}
+					js := jobs[a.JobID]
+					js.Status.MarkRunning(a.Task.ID)
+					js.Alloc = js.Alloc.Add(a.Local)
+					v.Machines[a.Machine].Allocated = v.Machines[a.Machine].Allocated.Add(a.Local)
+					for _, rc := range a.Remote {
+						v.Machines[rc.Machine].Allocated = v.Machines[rc.Machine].Allocated.Add(rc.Charge)
+					}
+					running = append(running, placed{a.Task.ID, a.Machine, a.Local, a.Remote, js})
+				}
+
+				for _, m := range v.Machines {
+					if m.Down {
+						continue
+					}
+					if m.Allocated.Get(resources.Memory) > capVec.Get(resources.Memory)+1e-9 {
+						t.Fatalf("trial %d round %d %s: machine %d memory over-committed: %v",
+							trial, round, sch.Name(), m.ID, m.Allocated)
+					}
+					if sch.Name() == "tetris" && !m.Allocated.FitsIn(capVec) {
+						t.Fatalf("trial %d round %d tetris: machine %d over-allocated: %v > %v",
+							trial, round, m.ID, m.Allocated, capVec)
+					}
+				}
+
+				// Complete some running tasks to open space for the next round.
+				kept = running[:0]
+				for _, p := range running {
+					if r.Float64() < 0.4 {
+						p.job.Status.MarkDone(p.id, float64(round))
+						p.job.Alloc = p.job.Alloc.Sub(p.local).Max(resources.Vector{})
+						v.Machines[p.machine].Allocated =
+							v.Machines[p.machine].Allocated.Sub(p.local).Max(resources.Vector{})
+						for _, rc := range p.remote {
+							v.Machines[rc.Machine].Allocated =
+								v.Machines[rc.Machine].Allocated.Sub(rc.Charge).Max(resources.Vector{})
+						}
+					} else {
+						kept = append(kept, p)
+					}
+				}
+				running = kept
+			}
+		}
+	}
+}

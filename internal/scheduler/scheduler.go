@@ -29,16 +29,29 @@ type MachineState struct {
 	// including non-job background activity (ingestion, evacuation) and
 	// ramp-up allowances. Only Tetris consults it (§4.1).
 	Reported resources.Vector
+	// Down marks a crashed or unreachable machine: it offers no
+	// capacity and must receive no placements (local or remote charges)
+	// until it recovers. The simulator sets it from its fault plan; the
+	// resource manager sets it when a node misses heartbeats.
+	Down bool
 }
 
-// FreeAllocated returns capacity − Allocated, clamped at zero.
+// FreeAllocated returns capacity − Allocated, clamped at zero. A down
+// machine has no free capacity.
 func (m *MachineState) FreeAllocated() resources.Vector {
+	if m.Down {
+		return resources.Vector{}
+	}
 	return m.Capacity.Sub(m.Allocated).Max(resources.Vector{})
 }
 
 // FreePacking returns the packing headroom Tetris uses: capacity minus
-// the component-wise max of Allocated and Reported, clamped at zero.
+// the component-wise max of Allocated and Reported, clamped at zero. A
+// down machine has no headroom.
 func (m *MachineState) FreePacking() resources.Vector {
+	if m.Down {
+		return resources.Vector{}
+	}
 	return m.Capacity.Sub(m.Allocated.Max(m.Reported)).Max(resources.Vector{})
 }
 
@@ -167,6 +180,26 @@ func RemoteCharges(peak resources.Vector, t *workload.Task, m int) []RemoteCharg
 	return charges
 }
 
+// LiveCharges drops charges whose source machine is Down: with replicated
+// storage the read falls back to a replica elsewhere, so a dead source
+// neither blocks the placement nor accrues bandwidth charges. The input
+// slice is never mutated; it is returned as-is when all sources are live.
+func LiveCharges(v *View, charges []RemoteCharge) []RemoteCharge {
+	for i, rc := range charges {
+		if rc.Machine < len(v.Machines) && v.Machines[rc.Machine].Down {
+			out := make([]RemoteCharge, 0, len(charges)-1)
+			out = append(out, charges[:i]...)
+			for _, rest := range charges[i+1:] {
+				if rest.Machine >= len(v.Machines) || !v.Machines[rest.Machine].Down {
+					out = append(out, rest)
+				}
+			}
+			return out
+		}
+	}
+	return charges
+}
+
 // RemoteFeasible reports whether every remote source machine has the
 // disk-read and network-out headroom the placement needs (§3.2: "Tetris
 // checks before placing a task on a machine that sufficient disk read and
@@ -174,6 +207,9 @@ func RemoteCharges(peak resources.Vector, t *workload.Task, m int) []RemoteCharg
 func RemoteFeasible(v *View, charges []RemoteCharge) bool {
 	for _, rc := range charges {
 		if rc.Machine >= len(v.Machines) {
+			return false
+		}
+		if v.Machines[rc.Machine].Down {
 			return false
 		}
 		if !rc.Charge.FitsIn(v.Machines[rc.Machine].FreePacking()) {

@@ -46,6 +46,9 @@ func (s *SlotFair) Schedule(v *View) []Assignment {
 	freeSlots := make([]int, len(v.Machines))
 	totalFree := 0
 	for i, m := range v.Machines {
+		if m.Down {
+			continue // crashed machine: no slots
+		}
 		total := int(m.Capacity.Get(resources.Memory) / s.SlotGB)
 		used := int(math.Round(m.Allocated.Get(resources.Memory) / s.SlotGB))
 		freeSlots[i] = total - used
@@ -63,6 +66,9 @@ func (s *SlotFair) Schedule(v *View) []Assignment {
 	}
 	var totalSlots float64
 	for _, m := range v.Machines {
+		if m.Down {
+			continue
+		}
 		totalSlots += math.Floor(m.Capacity.Get(resources.Memory) / s.SlotGB)
 	}
 	if totalSlots == 0 {

@@ -298,6 +298,9 @@ func (t *Tetris) Schedule(v *View) []Assignment {
 	// Per-round free-resource ledger.
 	free := make([]resources.Vector, len(v.Machines))
 	for i, m := range v.Machines {
+		if m.Down {
+			continue // no headroom: also blocks remote charges at dead sources
+		}
 		free[i] = m.FreePacking()
 		if t.cfg.HotspotThreshold > 0 {
 			for _, k := range resources.Kinds() {
@@ -318,6 +321,9 @@ func (t *Tetris) Schedule(v *View) []Assignment {
 	}
 
 	for _, m := range v.Machines {
+		if m.Down {
+			continue // crashed/unreachable machine: place nothing
+		}
 		if t.reserved[m.ID] != nil {
 			continue // machine held for a starved task
 		}
@@ -382,7 +388,9 @@ func (t *Tetris) serveReservations(v *View, free []resources.Vector, rs *roundSt
 			delete(t.reserved, mid) // placed elsewhere or job finished
 			continue
 		}
-		if mid >= len(v.Machines) {
+		if mid >= len(v.Machines) || v.Machines[mid].Down {
+			// Reserved machine gone or crashed: release the reservation;
+			// the task re-enters starvation detection on a live machine.
 			delete(t.reserved, mid)
 			continue
 		}
@@ -391,7 +399,7 @@ func (t *Tetris) serveReservations(v *View, free []resources.Vector, rs *roundSt
 		if !d.FitsIn(free[mid]) {
 			continue // keep waiting; machine stays closed
 		}
-		remote := RemoteCharges(peak, task, mid)
+		remote := LiveCharges(v, RemoteCharges(peak, task, mid))
 		feasible := true
 		for _, rc := range remote {
 			if !rc.Charge.FitsIn(free[rc.Machine]) {
@@ -443,7 +451,7 @@ func (t *Tetris) detectStarvation(v *View, rs *roundState) {
 		// headroom for it.
 		best, bestFree := -1, -1.0
 		for _, m := range v.Machines {
-			if t.reserved[m.ID] != nil {
+			if m.Down || t.reserved[m.ID] != nil {
 				continue
 			}
 			if f := m.Capacity.Sum(); f > bestFree {
@@ -509,6 +517,7 @@ func (t *Tetris) collectCandidates(v *View, mid int, free []resources.Vector, rs
 					rs.chargeCache[task] = remote
 				}
 			}
+			remote = LiveCharges(v, remote) // dead sources read from replicas
 			for _, rc := range remote {
 				if !rc.Charge.FitsIn(free[rc.Machine]) {
 					return

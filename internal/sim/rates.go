@@ -108,9 +108,12 @@ func (s *Sim) recomputeRates() {
 		}
 	}
 
-	// Pass 3: grant rates.
+	// Pass 3: grant rates. Fault injection degrades them: a machine
+	// slowdown (failing disk, noisy neighbour) scales every component on
+	// the machine, and a straggler attempt runs at its injected factor.
 	for _, rt := range s.running {
 		m := rt.machine
+		degrade := s.slow[m] * rt.slowdown
 		for i := range rt.comps {
 			c := &rt.comps[i]
 			if c.remaining <= 0 {
@@ -139,6 +142,9 @@ func (s *Sim) recomputeRates() {
 					}
 				}
 				c.rate = c.demand * f
+			}
+			if degrade != 1 {
+				c.rate *= degrade
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"sort"
 
+	"github.com/tetris-sched/tetris/internal/faults"
 	"github.com/tetris-sched/tetris/internal/resources"
 	"github.com/tetris-sched/tetris/internal/stats"
 	"github.com/tetris-sched/tetris/internal/workload"
@@ -19,6 +20,10 @@ type JobResult struct {
 	// ∫ (a(t)−f(t))/f(t) dt over the job's lifetime. Negative values mean
 	// the job received worse service than its fair share.
 	Unfairness float64
+	// Failed marks a job killed because a task exhausted its attempt cap
+	// under the fault plan (Config.MaxTaskAttempts). Finish/JCT then
+	// record the kill time, not a completion.
+	Failed bool
 }
 
 // Sample is one cluster-level utilization observation.
@@ -59,8 +64,18 @@ type Result struct {
 	LocalReadMB   float64
 	RemoteReadMB  float64
 	// FailedAttempts counts task executions that failed and re-ran
-	// (Config.TaskFailureProb).
+	// (Config.TaskFailureProb and fault-plan crashes).
 	FailedAttempts int
+	// FaultEvents is the chronological log of injected machine crashes
+	// and recoveries (Config.FaultPlan): per-event task kill counts and
+	// recovery latencies fall out of it.
+	FaultEvents []faults.Record
+	// KilledJobs lists jobs abandoned after a task exhausted
+	// Config.MaxTaskAttempts, in kill order.
+	KilledJobs []int
+	// Stragglers counts task attempts started degraded by straggler
+	// injection.
+	Stragglers int
 	// MachineSamples is the number of (machine × sample) observations
 	// behind HighUse.
 	MachineSamples int
@@ -73,11 +88,14 @@ func newResult() *Result {
 
 func (r *Result) finalize() {}
 
-// JCTs returns all job completion times in ascending job-ID order.
+// JCTs returns all completed jobs' completion times in ascending job-ID
+// order (killed jobs are excluded — they have no completion).
 func (r *Result) JCTs() []float64 {
 	ids := make([]int, 0, len(r.Jobs))
 	for id := range r.Jobs {
-		ids = append(ids, id)
+		if !r.Jobs[id].Failed {
+			ids = append(ids, id)
+		}
 	}
 	sort.Ints(ids)
 	out := make([]float64, len(ids))
@@ -85,6 +103,12 @@ func (r *Result) JCTs() []float64 {
 		out[i] = r.Jobs[id].JCT
 	}
 	return out
+}
+
+// RecoveryStats summarizes the run's fault log: crash and recovery
+// counts, tasks killed, and downtime statistics.
+func (r *Result) RecoveryStats() faults.RecoveryStats {
+	return faults.Summarize(r.FaultEvents)
 }
 
 // AvgJCT returns the mean job completion time.

@@ -20,6 +20,7 @@ import (
 
 	"github.com/tetris-sched/tetris/internal/cluster"
 	"github.com/tetris-sched/tetris/internal/eventq"
+	"github.com/tetris-sched/tetris/internal/faults"
 	"github.com/tetris-sched/tetris/internal/resources"
 	"github.com/tetris-sched/tetris/internal/scheduler"
 	"github.com/tetris-sched/tetris/internal/workload"
@@ -73,6 +74,15 @@ type Config struct {
 	// destroy: effective capacity never drops below floor × capacity.
 	// Zero uses the default of 0.25; negative means no floor.
 	InterferenceFloor float64
+	// FaultPlan injects machine crash/recover and slowdown events plus
+	// straggler tasks (see internal/faults). On a crash the machine's
+	// running tasks fail and re-enter the pending pool; the released
+	// resources and re-executions fall out of the ordinary metrics.
+	FaultPlan *faults.Plan
+	// MaxTaskAttempts caps executions per task under the fault plan: a
+	// task failing this many times kills its job (recorded in
+	// Result.KilledJobs with JobResult.Failed). Zero means unlimited.
+	MaxTaskAttempts int
 	// TaskFailureProb is the probability that a task fails on completion
 	// and must re-execute from scratch (the paper's simulator replays
 	// the production traces' failure probabilities; §5.1). Failed
@@ -120,6 +130,7 @@ const (
 	evActivityEnd
 	evSample
 	evSchedule
+	evFault // idx indexes Config.FaultPlan.Events
 )
 
 type event struct {
@@ -154,11 +165,21 @@ type runningTask struct {
 	local   resources.Vector         // scheduler's local charge
 	remote  []scheduler.RemoteCharge // scheduler's remote charges
 	idx     int                      // position in Sim.running (swap-removed)
+	// slowdown multiplies this attempt's granted rates: 1 normally,
+	// FaultPlan.StragglerFactor when straggler injection picked it.
+	slowdown float64
+	// gone guards against double removal when a crash or job kill
+	// unlinks a task that another code path also holds.
+	gone bool
 }
 
 type jobRun struct {
 	state   *scheduler.JobState
 	arrived bool
+	// killed marks a job abandoned because a task exhausted its attempt
+	// cap under the fault plan; it counts as terminated for run
+	// completion but is reported failed.
+	killed bool
 	// truePeaks is the sum of actual peak demands of the job's running
 	// tasks (scheduler-independent), for fairness accounting.
 	truePeaks resources.Vector
@@ -182,7 +203,11 @@ type Sim struct {
 	nextSchedOK  float64 // earliest time the next scheduling round may run
 	schedPending bool    // an evSchedule event is queued
 	failRand     *rand.Rand
-	res          *Result
+	// Fault-injection state (Config.FaultPlan).
+	slow      []float64 // per-machine rate multiplier (1 = full speed)
+	crashedAt []float64 // crash time of currently-down machines
+	chaosRand *rand.Rand
+	res       *Result
 }
 
 // New validates the configuration and prepares a run.
@@ -216,6 +241,24 @@ func New(cfg Config) (*Sim, error) {
 	}
 	s.byMach = make([][]*runningTask, len(s.machines))
 	s.background = make([]resources.Vector, len(s.machines))
+	s.slow = make([]float64, len(s.machines))
+	s.crashedAt = make([]float64, len(s.machines))
+	for i := range s.slow {
+		s.slow[i] = 1
+	}
+	if plan := cfg.FaultPlan; !plan.Empty() {
+		if err := plan.Validate(len(s.machines)); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		seed := plan.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		s.chaosRand = rand.New(rand.NewSource(seed))
+		for i, e := range plan.Events {
+			s.queue.Push(e.Time, event{kind: evFault, idx: i})
+		}
+	}
 	for i, j := range cfg.Workload.Jobs {
 		jr := &jobRun{state: &scheduler.JobState{Job: j, Status: workload.NewStatus(j)}}
 		s.jobs = append(s.jobs, jr)
@@ -271,6 +314,9 @@ func (s *Sim) Run() (*Result, error) {
 				s.queue.Push(s.clock+s.cfg.SampleEvery, event{kind: evSample})
 			case evSchedule:
 				s.schedPending = false
+				needSchedule = true
+			case evFault:
+				s.applyFault(s.cfg.FaultPlan.Events[ev.idx])
 				needSchedule = true
 			}
 		}
@@ -351,7 +397,7 @@ func (s *Sim) done() bool {
 		return false
 	}
 	for _, jr := range s.jobs {
-		if !jr.state.Status.Finished() {
+		if !jr.state.Status.Finished() && !jr.killed {
 			return false
 		}
 	}
@@ -359,21 +405,23 @@ func (s *Sim) done() bool {
 }
 
 // pendingNonSample reports whether any queued event other than sampling
-// remains (sampling alone must not keep the simulation alive).
+// or fault injection remains (neither alone must keep the simulation
+// alive once every job has terminated).
 func (s *Sim) pendingNonSample() bool {
 	// The queue does not support iteration; approximate by checking the
 	// head. Sampling events are pushed one at a time, so if the head is a
-	// sample and nothing else is pending the simulation can stop: job
-	// arrivals and activities are all in the queue from the start.
+	// sample (or a fault, which cannot create work) and nothing else is
+	// pending the simulation can stop: job arrivals and activities are
+	// all in the queue from the start.
 	_, ev, ok := s.queue.Peek()
 	if !ok {
 		return false
 	}
-	if ev.kind != evSample {
+	if ev.kind != evSample && ev.kind != evFault {
 		return true
 	}
-	// Head is a sample: any remaining arrivals/activities would sort at
-	// their own times; we conservatively scan jobs instead.
+	// Head is a sample or fault: any remaining arrivals/activities would
+	// sort at their own times; we conservatively scan jobs instead.
 	for _, jr := range s.jobs {
 		if !jr.arrived {
 			return true
@@ -384,10 +432,10 @@ func (s *Sim) pendingNonSample() bool {
 
 // schedule invokes the policy and applies its assignments.
 func (s *Sim) schedule() {
-	// Drop finished jobs from the active list.
+	// Drop finished and killed jobs from the active list.
 	act := s.active[:0]
 	for _, jr := range s.active {
-		if !jr.state.Status.Finished() {
+		if !jr.state.Status.Finished() && !jr.killed {
 			act = append(act, jr)
 		}
 	}
@@ -422,13 +470,22 @@ func (s *Sim) start(a scheduler.Assignment) {
 	// scheduler tracks its own decrements.
 
 	rt := &runningTask{
-		job:     jr,
-		task:    a.Task,
-		machine: a.Machine,
-		started: s.clock,
-		local:   a.Local,
-		remote:  a.Remote,
-		idx:     len(s.running),
+		job:      jr,
+		task:     a.Task,
+		machine:  a.Machine,
+		started:  s.clock,
+		local:    a.Local,
+		remote:   a.Remote,
+		idx:      len(s.running),
+		slowdown: 1,
+	}
+	// Straggler injection: some attempts run degraded (a bad disk, a
+	// contended host) — the re-execution pressure the paper's production
+	// traces contain.
+	if plan := s.cfg.FaultPlan; plan != nil && plan.StragglerProb > 0 &&
+		s.chaosRand.Float64() < plan.StragglerProb {
+		rt.slowdown = plan.StragglerFactor
+		s.res.Stragglers++
 	}
 	t := a.Task
 	if t.Work.CPUSeconds > 0 {
@@ -529,23 +586,11 @@ func (s *Sim) completeFinished() bool {
 		}
 	}
 	for _, rt := range done {
-		id := rt.task.ID
-		// Swap-remove from the running list, fixing the moved task's idx.
-		last := len(s.running) - 1
-		moved := s.running[last]
-		s.running[rt.idx] = moved
-		moved.idx = rt.idx
-		s.running[last] = nil
-		s.running = s.running[:last]
-
-		lst := s.byMach[rt.machine]
-		for i, x := range lst {
-			if x == rt {
-				lst[i] = lst[len(lst)-1]
-				s.byMach[rt.machine] = lst[:len(lst)-1]
-				break
-			}
+		if rt.gone {
+			continue // removed by a job kill triggered earlier in this loop
 		}
+		id := rt.task.ID
+		s.unlink(rt)
 		jr := rt.job
 		jr.state.Alloc = jr.state.Alloc.Sub(rt.local).Max(resources.Vector{})
 		jr.truePeaks = jr.truePeaks.Sub(rt.task.Peak).Max(resources.Vector{})
@@ -555,6 +600,9 @@ func (s *Sim) completeFinished() bool {
 			jr.state.Status.MarkFailed(id)
 			s.res.FailedAttempts++
 			s.res.TaskDurations = append(s.res.TaskDurations, s.clock-rt.started)
+			if cap := s.cfg.MaxTaskAttempts; cap > 0 && jr.state.Status.Attempts(id) >= cap {
+				s.killJob(jr)
+			}
 			continue
 		}
 		jr.state.Status.MarkDone(id, s.clock)
@@ -625,6 +673,9 @@ func (s *Sim) checkInvariants() error {
 	const eps = 1e-6
 	byMachCount := 0
 	for m, lst := range s.byMach {
+		if s.machines[m].Down && len(lst) > 0 {
+			return fmt.Errorf("sim: %d tasks still on crashed machine %d at t=%.2f", len(lst), m, s.clock)
+		}
 		var mem float64
 		for _, rt := range lst {
 			if rt.machine != m {

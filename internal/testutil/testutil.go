@@ -1,0 +1,25 @@
+// Package testutil holds small helpers shared by the prototype's tests.
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// WaitFor polls cond every few milliseconds until it returns true or the
+// timeout expires, failing the test with msg on expiry. It replaces
+// fixed time.Sleep waits: tests pass as soon as the condition holds
+// instead of always paying the worst-case latency.
+func WaitFor(t *testing.T, timeout time.Duration, msg string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not met within %v: %s", timeout, msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,18 @@
+package testutil
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWaitForImmediate(t *testing.T) {
+	WaitFor(t, time.Second, "always true", func() bool { return true })
+}
+
+func TestWaitForEventually(t *testing.T) {
+	var n atomic.Int32
+	WaitFor(t, 5*time.Second, "counter reaches 3", func() bool {
+		return n.Add(1) >= 3
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/tetris-sched/tetris/internal/faults"
 	"github.com/tetris-sched/tetris/internal/resources"
 	"github.com/tetris-sched/tetris/internal/workload"
 )
@@ -24,13 +25,15 @@ const MaxFrame = 64 << 20
 
 // Message types.
 const (
-	TypeRegisterNM  = "register-nm"
-	TypeNMHeartbeat = "nm-heartbeat"
-	TypeNMReply     = "nm-reply"
-	TypeSubmitJob   = "submit-job"
-	TypeAMHeartbeat = "am-heartbeat"
-	TypeAMReply     = "am-reply"
-	TypeError       = "error"
+	TypeRegisterNM         = "register-nm"
+	TypeNMHeartbeat        = "nm-heartbeat"
+	TypeNMReply            = "nm-reply"
+	TypeSubmitJob          = "submit-job"
+	TypeAMHeartbeat        = "am-heartbeat"
+	TypeAMReply            = "am-reply"
+	TypeClusterStatus      = "cluster-status"
+	TypeClusterStatusReply = "cluster-status-reply"
+	TypeError              = "error"
 )
 
 // Message is the envelope for every frame. Exactly one payload field is
@@ -38,13 +41,14 @@ const (
 type Message struct {
 	Type string `json:"type"`
 
-	RegisterNM  *RegisterNM  `json:"registerNM,omitempty"`
-	NMHeartbeat *NMHeartbeat `json:"nmHeartbeat,omitempty"`
-	NMReply     *NMReply     `json:"nmReply,omitempty"`
-	SubmitJob   *SubmitJob   `json:"submitJob,omitempty"`
-	AMHeartbeat *AMHeartbeat `json:"amHeartbeat,omitempty"`
-	AMReply     *AMReply     `json:"amReply,omitempty"`
-	Error       string       `json:"error,omitempty"`
+	RegisterNM    *RegisterNM         `json:"registerNM,omitempty"`
+	NMHeartbeat   *NMHeartbeat        `json:"nmHeartbeat,omitempty"`
+	NMReply       *NMReply            `json:"nmReply,omitempty"`
+	SubmitJob     *SubmitJob          `json:"submitJob,omitempty"`
+	AMHeartbeat   *AMHeartbeat        `json:"amHeartbeat,omitempty"`
+	AMReply       *AMReply            `json:"amReply,omitempty"`
+	ClusterStatus *ClusterStatusReply `json:"clusterStatus,omitempty"`
+	Error         string              `json:"error,omitempty"`
 }
 
 // RegisterNM announces a node manager and its machine capacity.
@@ -105,6 +109,23 @@ type AMReply struct {
 	Total      int     `json:"total"`
 	Finished   bool    `json:"finished"`
 	FinishedAt float64 `json:"finishedAt,omitempty"`
+	// Failed means the RM abandoned the job: a task exhausted its
+	// per-task attempt cap under node failures. Finished is also set so
+	// pollers stop.
+	Failed bool `json:"failed,omitempty"`
+}
+
+// ClusterStatusReply answers a TypeClusterStatus query (an empty-payload
+// request): node liveness and the RM's fault-event log. Tests and
+// operators use it to watch failure detection and recovery.
+type ClusterStatusReply struct {
+	// Nodes is the number of registered nodes (live or dead).
+	Nodes int `json:"nodes"`
+	// Live and Dead list node IDs in ascending order.
+	Live []int `json:"live,omitempty"`
+	Dead []int `json:"dead,omitempty"`
+	// Faults is the RM's chronological crash/recovery log.
+	Faults []faults.Record `json:"faults,omitempty"`
 }
 
 // Write frames and writes one message.

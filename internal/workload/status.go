@@ -33,6 +33,7 @@ type Status struct {
 	Job *Job
 
 	state      [][]TaskState
+	attempts   [][]int // failed executions per task (crash or re-run)
 	doneCount  []int
 	runCount   []int
 	dependents []int // number of stages depending on each stage
@@ -46,6 +47,7 @@ type Status struct {
 func NewStatus(j *Job) *Status {
 	s := &Status{Job: j}
 	s.state = make([][]TaskState, len(j.Stages))
+	s.attempts = make([][]int, len(j.Stages))
 	s.doneCount = make([]int, len(j.Stages))
 	s.runCount = make([]int, len(j.Stages))
 	s.dependents = make([]int, len(j.Stages))
@@ -83,17 +85,42 @@ func (s *Status) MarkRunning(id TaskID) {
 }
 
 // MarkFailed returns a running task to the pending state (the task
-// failed and must be re-executed). The per-stage pending cursor is moved
-// back so the task is visible to AppendPending again.
+// failed — its machine crashed or the attempt errored — and must be
+// re-executed) and counts the failed attempt. The per-stage pending
+// cursor is moved back so the task is visible to AppendPending again.
 func (s *Status) MarkFailed(id TaskID) {
 	if s.state[id.Stage][id.Index] != Running {
 		panic(fmt.Sprintf("task %v: MarkFailed from state %v", id, s.state[id.Stage][id.Index]))
 	}
 	s.state[id.Stage][id.Index] = Pending
 	s.runCount[id.Stage]--
+	if s.attempts[id.Stage] == nil {
+		s.attempts[id.Stage] = make([]int, len(s.Job.Stages[id.Stage].Tasks))
+	}
+	s.attempts[id.Stage][id.Index]++
 	if id.Index < s.cursor[id.Stage] {
 		s.cursor[id.Stage] = id.Index
 	}
+}
+
+// Attempts returns the number of failed executions of the identified
+// task so far; the executors' per-task attempt caps compare against it.
+func (s *Status) Attempts(id TaskID) int {
+	if s.attempts[id.Stage] == nil {
+		return 0
+	}
+	return s.attempts[id.Stage][id.Index]
+}
+
+// TotalFailures returns the total failed executions across the job.
+func (s *Status) TotalFailures() int {
+	n := 0
+	for _, st := range s.attempts {
+		for _, a := range st {
+			n += a
+		}
+	}
+	return n
 }
 
 // MarkDone transitions a running task to done at the given time.

@@ -41,6 +41,7 @@ import (
 	"github.com/tetris-sched/tetris/internal/bound"
 	"github.com/tetris-sched/tetris/internal/cluster"
 	"github.com/tetris-sched/tetris/internal/estimator"
+	"github.com/tetris-sched/tetris/internal/faults"
 	"github.com/tetris-sched/tetris/internal/resources"
 	"github.com/tetris-sched/tetris/internal/scheduler"
 	"github.com/tetris-sched/tetris/internal/sim"
@@ -209,6 +210,29 @@ func SaveWorkload(path string, wl *Workload) error { return trace.SaveFile(path,
 
 // LoadWorkload reads a workload from the named file.
 func LoadWorkload(path string) (*Workload, error) { return trace.LoadFile(path) }
+
+// Fault injection & recovery.
+type (
+	// FaultPlan is a deterministic schedule of machine crashes,
+	// recoveries and slowdowns, plus straggler-injection knobs.
+	FaultPlan = faults.Plan
+	// FaultEvent is one scheduled fault (time, kind, machine, factor).
+	FaultEvent = faults.Event
+	// FaultPlanConfig parameterizes random fault-plan generation.
+	FaultPlanConfig = faults.PlanConfig
+	// FaultRecord is one observed fault event: what happened, to which
+	// machine, how many task attempts it killed, how long it lasted.
+	FaultRecord = faults.Record
+	// RecoveryStats aggregates a run's fault records.
+	RecoveryStats = faults.RecoveryStats
+)
+
+// GenerateFaultPlan builds a seeded random fault plan: identical configs
+// yield identical plans, so chaos runs replay bit for bit.
+func GenerateFaultPlan(cfg FaultPlanConfig) *FaultPlan { return faults.Generate(cfg) }
+
+// SummarizeFaults aggregates fault records into recovery statistics.
+func SummarizeFaults(recs []FaultRecord) RecoveryStats { return faults.Summarize(recs) }
 
 // Estimation.
 type (
