@@ -32,6 +32,7 @@ func main() {
 		barrier   = flag.Float64("barrier", 0.9, "tetris barrier knob b ∈ (0,1]")
 		penalty   = flag.Float64("remote-penalty", 0.1, "tetris remote penalty")
 		epsMult   = flag.Float64("eps", 1, "tetris ε multiplier m")
+		coreName  = flag.String("core", "incremental", "tetris schedule core: incremental | reference")
 		compare   = flag.Bool("compare", false, "also run slot-fair and DRF and print gains")
 		failures  = flag.Float64("failures", 0, "task failure probability (re-executed on failure)")
 
@@ -56,6 +57,14 @@ func main() {
 			cfg.Barrier = *barrier
 			cfg.RemotePenalty = *penalty
 			cfg.EpsilonMultiplier = *epsMult
+			switch *coreName {
+			case "incremental":
+				cfg.Core = tetris.CoreIncremental
+			case "reference":
+				cfg.Core = tetris.CoreReference
+			default:
+				log.Fatalf("unknown core %q (want incremental or reference)", *coreName)
+			}
 			return tetris.NewScheduler(cfg)
 		case "slot-fair", "cs", "fair":
 			return tetris.NewSlotFairScheduler()

@@ -1,0 +1,111 @@
+package scheduler
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the Schedule hot path, over small/medium/large
+// synthetic views, with one sub-benchmark per core so the incremental
+// (fast) and reference paths can be compared directly:
+//
+//	go test ./internal/scheduler -bench 'Schedule' -benchmem
+//
+// scripts/benchgate compares two such runs and fails on regression.
+
+type benchSize struct {
+	name         string
+	nMach, nJobs int
+}
+
+var benchSizes = []benchSize{
+	{"small", 10, 4},
+	{"medium", 40, 16},
+	{"large", 160, 64},
+}
+
+// benchView builds a mid-flight cluster snapshot: a randomized world
+// warmed up for a few rounds under a fixed scheduler so machines carry
+// realistic partial allocations and jobs have tasks in varied states.
+func benchView(sz benchSize, warm int) *View {
+	rng := rand.New(rand.NewSource(int64(sz.nMach)*1000 + int64(sz.nJobs)))
+	caps := genCaps(rng, sz.nMach)
+	jobs := genJobs(rng, sz.nJobs, sz.nMach)
+	arrive := make([]int, sz.nJobs)
+	cfg := DefaultTetrisConfig()
+	cfg.Core = CoreReference
+	w := newEqWorld(NewTetris(cfg), jobs, caps, arrive, 1)
+	for r := 0; r < warm; r++ {
+		w.step(r, false, false)
+	}
+	v := &View{Time: float64(warm), Machines: w.machines, Total: w.total}
+	for _, j := range w.jobs {
+		if !j.Status.Finished() {
+			v.Jobs = append(v.Jobs, j)
+		}
+	}
+	return v
+}
+
+func BenchmarkTetrisSchedule(b *testing.B) {
+	for _, sz := range benchSizes {
+		v := benchView(sz, 3)
+		for _, core := range []Core{CoreIncremental, CoreReference} {
+			b.Run(fmt.Sprintf("%s/%s", sz.name, core), func(b *testing.B) {
+				cfg := DefaultTetrisConfig()
+				cfg.Core = core
+				t := NewTetris(cfg)
+				t.Schedule(v) // warm caches and scratch
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					t.Schedule(v)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkDRFSchedule(b *testing.B) {
+	for _, sz := range benchSizes {
+		v := benchView(sz, 3)
+		for _, ref := range []bool{false, true} {
+			name := "fast"
+			if ref {
+				name = "reference"
+			}
+			b.Run(fmt.Sprintf("%s/%s", sz.name, name), func(b *testing.B) {
+				d := NewDRF()
+				d.Reference = ref
+				d.Schedule(v)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					d.Schedule(v)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSlotFairSchedule(b *testing.B) {
+	for _, sz := range benchSizes {
+		v := benchView(sz, 3)
+		for _, ref := range []bool{false, true} {
+			name := "fast"
+			if ref {
+				name = "reference"
+			}
+			b.Run(fmt.Sprintf("%s/%s", sz.name, name), func(b *testing.B) {
+				s := &SlotFair{SlotGB: 2, Reference: ref}
+				s.Schedule(v)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Schedule(v)
+				}
+			})
+		}
+	}
+}

@@ -15,6 +15,80 @@ type DRF struct {
 	// Kinds are the resource dimensions DRF allocates. Default (via
 	// NewDRF): CPU and memory.
 	Kinds []resources.Kind
+	// Reference selects the original selection loop — a linear scan over
+	// all jobs per placement — instead of the heap-based fast path. Both
+	// paths are decision-identical (the equivalence suite enforces it);
+	// the reference is kept as the oracle.
+	Reference bool
+
+	scratch drfScratch
+}
+
+// drfScratch is the fast path's per-round working state, reused across
+// Schedule calls so a steady-state round allocates only the returned
+// assignments.
+type drfScratch struct {
+	jobs  []*JobState
+	free  []resources.Vector
+	down  []bool
+	share []float64          // current dominant share, by job position
+	alloc []resources.Vector // projected allocation, by job position
+	fetch []pendingFetcher
+	heap  []int // job positions, min-heap by (share, job ID)
+}
+
+// heapLess orders the selection heap: smallest dominant share first,
+// ties by ascending job ID — the same strict total order the reference
+// scan minimizes, so the heap top is always the job the scan would pick.
+func (sc *drfScratch) heapLess(a, b int) bool {
+	if sc.share[a] != sc.share[b] {
+		return sc.share[a] < sc.share[b]
+	}
+	return sc.jobs[a].Job.ID < sc.jobs[b].Job.ID
+}
+
+func (sc *drfScratch) heapPush(p int) {
+	sc.heap = append(sc.heap, p)
+	i := len(sc.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !sc.heapLess(sc.heap[i], sc.heap[parent]) {
+			break
+		}
+		sc.heap[i], sc.heap[parent] = sc.heap[parent], sc.heap[i]
+		i = parent
+	}
+}
+
+func (sc *drfScratch) heapPop() {
+	n := len(sc.heap) - 1
+	sc.heap[0] = sc.heap[n]
+	sc.heap = sc.heap[:n]
+	if n > 0 {
+		sc.siftDown()
+	}
+}
+
+// siftDown restores the heap property after the root's key changed (a
+// placement only ever grows the picked job's share) or after a pop.
+func (sc *drfScratch) siftDown() {
+	i := 0
+	n := len(sc.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && sc.heapLess(sc.heap[l], sc.heap[smallest]) {
+			smallest = l
+		}
+		if r < n && sc.heapLess(sc.heap[r], sc.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		sc.heap[i], sc.heap[smallest] = sc.heap[smallest], sc.heap[i]
+		i = smallest
+	}
 }
 
 // NewDRF returns a DRF scheduler over CPU and memory.
@@ -42,8 +116,93 @@ func (d *DRF) project(v resources.Vector) resources.Vector {
 
 // Schedule implements Scheduler via progressive filling: while any job's
 // next task fits somewhere, give the job with the smallest dominant share
-// its next task.
+// its next task. The default fast path keeps the jobs in a min-heap
+// keyed by (dominant share, job ID) — only the picked job's share
+// changes per placement, so selection is O(log jobs) instead of the
+// reference's O(jobs) rescan, with identical decisions.
 func (d *DRF) Schedule(v *View) []Assignment {
+	if d.Reference {
+		return d.scheduleReference(v)
+	}
+	sc := &d.scratch
+	sc.jobs = sc.jobs[:0]
+	for _, j := range v.Jobs {
+		if j.Status.HasRunnable() {
+			sc.jobs = append(sc.jobs, j)
+		}
+	}
+	jobs := sc.jobs
+	if len(jobs) == 0 {
+		return nil
+	}
+	if cap(sc.free) < len(v.Machines) {
+		sc.free = make([]resources.Vector, len(v.Machines))
+		sc.down = make([]bool, len(v.Machines))
+	}
+	sc.free = sc.free[:len(v.Machines)]
+	sc.down = sc.down[:len(v.Machines)]
+	for i, m := range v.Machines {
+		sc.free[i] = d.project(m.FreeAllocated())
+		sc.down[i] = m.Down
+	}
+	if cap(sc.share) < len(jobs) {
+		sc.share = make([]float64, len(jobs))
+		sc.alloc = make([]resources.Vector, len(jobs))
+		sc.fetch = make([]pendingFetcher, len(jobs))
+	}
+	sc.share = sc.share[:len(jobs)]
+	sc.alloc = sc.alloc[:len(jobs)]
+	sc.fetch = sc.fetch[:len(jobs)]
+	sc.heap = sc.heap[:0]
+	for p, j := range jobs {
+		sc.alloc[p] = d.project(j.Alloc)
+		sc.share[p] = dominantShare(j, v.Total, d.Kinds)
+		sc.fetch[p].reset(j)
+		sc.heapPush(p)
+	}
+	var out []Assignment
+
+	for len(sc.heap) > 0 {
+		// The heap top is the unblocked job with the smallest dominant
+		// share. Jobs out of runnable tasks, or blocked (nothing fits),
+		// stay that way for the rest of the round: drop them for good.
+		p := sc.heap[0]
+		pick := jobs[p]
+		task := sc.fetch[p].Peek()
+		if task == nil {
+			sc.heapPop()
+			continue
+		}
+		id := pick.Job.ID
+		peak, _ := v.Demand(pick, task)
+		demand := d.project(peak)
+		mid := d.pickMachine(task, demand, sc.free, sc.down)
+		if mid < 0 {
+			sc.heapPop() // blocked
+			continue
+		}
+		sc.fetch[p].Consume()
+		sc.free[mid] = sc.free[mid].Sub(demand).Max(resources.Vector{})
+		sc.alloc[p] = sc.alloc[p].Add(demand)
+		// Recompute the dominant share.
+		s := 0.0
+		for _, k := range d.Kinds {
+			if c := v.Total.Get(k); c > 0 {
+				if v := sc.alloc[p].Get(k) / c; v > s {
+					s = v
+				}
+			}
+		}
+		sc.share[p] = s
+		sc.siftDown() // share only grew: re-sink the root
+		out = append(out, Assignment{JobID: id, Task: task, Machine: mid, Local: demand})
+	}
+	return out
+}
+
+// scheduleReference is the original progressive-filling loop, kept as
+// the decision oracle for the fast path.
+func (d *DRF) scheduleReference(v *View) []Assignment {
 	jobs := withRunnable(v)
 	if len(jobs) == 0 {
 		return nil

@@ -281,6 +281,17 @@ type pendingFetcher struct {
 
 func newPendingFetcher(j *JobState) *pendingFetcher { return &pendingFetcher{j: j} }
 
+// reset reinitializes the fetcher for job j, recycling the fetch buffer.
+// Used by the schedulers' scratch-reusing fast paths.
+func (f *pendingFetcher) reset(j *JobState) {
+	f.j = j
+	f.stage = 0
+	f.buf = f.buf[:0]
+	f.idx = 0
+	f.taken = 0
+	f.cur = nil
+}
+
 // Peek returns the next runnable task without consuming it (nil if none).
 func (f *pendingFetcher) Peek() *workload.Task {
 	if f.cur != nil {

@@ -13,6 +13,21 @@ type Scorer interface {
 	Score(demand, available, capacity resources.Vector) float64
 }
 
+// NormScorer is implemented by scorers whose score depends on demand and
+// availability only through their capacity-normalized forms. The
+// incremental core (tetris_incremental.go) uses it to normalize the
+// demand once per (task, machine) and the availability once per
+// placement instead of once per evaluated pair. Every built-in scorer
+// implements it with Score delegating to ScoreNorm, so the two entry
+// points share one arithmetic path and produce bit-identical results —
+// which the reference/incremental equivalence suite relies on.
+type NormScorer interface {
+	Scorer
+	// ScoreNorm scores pre-normalized vectors: normDemand and normAvail
+	// must be demand.Normalize(capacity) and available.Normalize(capacity).
+	ScoreNorm(normDemand, normAvail resources.Vector) float64
+}
+
 // CosineScorer is Tetris' alignment score: the dot product of demand and
 // availability, both normalized by machine capacity (§3.2).
 type CosineScorer struct{}
@@ -21,8 +36,13 @@ type CosineScorer struct{}
 func (CosineScorer) Name() string { return "cosine" }
 
 // Score implements Scorer.
-func (CosineScorer) Score(demand, available, capacity resources.Vector) float64 {
-	return demand.Normalize(capacity).Dot(available.Normalize(capacity))
+func (s CosineScorer) Score(demand, available, capacity resources.Vector) float64 {
+	return s.ScoreNorm(demand.Normalize(capacity), available.Normalize(capacity))
+}
+
+// ScoreNorm implements NormScorer.
+func (CosineScorer) ScoreNorm(normDemand, normAvail resources.Vector) float64 {
+	return normDemand.Dot(normAvail)
 }
 
 // L2NormDiffScorer minimizes Σ(availableᵢ−demandᵢ)²: it prefers tasks
@@ -33,8 +53,13 @@ type L2NormDiffScorer struct{}
 func (L2NormDiffScorer) Name() string { return "l2-norm-diff" }
 
 // Score implements Scorer.
-func (L2NormDiffScorer) Score(demand, available, capacity resources.Vector) float64 {
-	diff := available.Normalize(capacity).Sub(demand.Normalize(capacity))
+func (s L2NormDiffScorer) Score(demand, available, capacity resources.Vector) float64 {
+	return s.ScoreNorm(demand.Normalize(capacity), available.Normalize(capacity))
+}
+
+// ScoreNorm implements NormScorer.
+func (L2NormDiffScorer) ScoreNorm(normDemand, normAvail resources.Vector) float64 {
+	diff := normAvail.Sub(normDemand)
 	return -diff.Dot(diff)
 }
 
@@ -46,13 +71,16 @@ type L2NormRatioScorer struct{}
 func (L2NormRatioScorer) Name() string { return "l2-norm-ratio" }
 
 // Score implements Scorer.
-func (L2NormRatioScorer) Score(demand, available, capacity resources.Vector) float64 {
-	d := demand.Normalize(capacity)
-	a := available.Normalize(capacity)
+func (sc L2NormRatioScorer) Score(demand, available, capacity resources.Vector) float64 {
+	return sc.ScoreNorm(demand.Normalize(capacity), available.Normalize(capacity))
+}
+
+// ScoreNorm implements NormScorer.
+func (L2NormRatioScorer) ScoreNorm(normDemand, normAvail resources.Vector) float64 {
 	s := 0.0
 	for _, k := range resources.Kinds() {
-		if a.Get(k) > 0 {
-			r := d.Get(k) / a.Get(k)
+		if normAvail.Get(k) > 0 {
+			r := normDemand.Get(k) / normAvail.Get(k)
 			s += r * r
 		}
 	}
@@ -67,12 +95,17 @@ type FFDProdScorer struct{}
 func (FFDProdScorer) Name() string { return "ffd-prod" }
 
 // Score implements Scorer.
-func (FFDProdScorer) Score(demand, _, capacity resources.Vector) float64 {
-	d := demand.Normalize(capacity)
+func (s FFDProdScorer) Score(demand, _, capacity resources.Vector) float64 {
+	return s.ScoreNorm(demand.Normalize(capacity), resources.Vector{})
+}
+
+// ScoreNorm implements NormScorer. The availability is unused: FFD sizes
+// tasks machine-independently.
+func (FFDProdScorer) ScoreNorm(normDemand, _ resources.Vector) float64 {
 	p := 1.0
 	any := false
 	for _, k := range resources.Kinds() {
-		if v := d.Get(k); v > 0 {
+		if v := normDemand.Get(k); v > 0 {
 			p *= v
 			any = true
 		}
@@ -90,8 +123,13 @@ type FFDSumScorer struct{}
 func (FFDSumScorer) Name() string { return "ffd-sum" }
 
 // Score implements Scorer.
-func (FFDSumScorer) Score(demand, _, capacity resources.Vector) float64 {
-	return demand.Normalize(capacity).Sum()
+func (s FFDSumScorer) Score(demand, _, capacity resources.Vector) float64 {
+	return s.ScoreNorm(demand.Normalize(capacity), resources.Vector{})
+}
+
+// ScoreNorm implements NormScorer.
+func (FFDSumScorer) ScoreNorm(normDemand, _ resources.Vector) float64 {
+	return normDemand.Sum()
 }
 
 // Scorers lists every implemented alignment heuristic in the order the

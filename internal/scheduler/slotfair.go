@@ -17,6 +17,79 @@ type SlotFair struct {
 	// SlotGB is the slot size in GB of memory (the paper uses the
 	// Facebook cluster's value; we default to 2 GB).
 	SlotGB float64
+	// Reference selects the original selection loop — a linear scan over
+	// all jobs per placement — instead of the heap-based fast path. Both
+	// paths are decision-identical (the equivalence suite enforces it).
+	Reference bool
+
+	scratch slotScratch
+}
+
+// slotScratch is the fast path's per-round working state, reused across
+// Schedule calls.
+type slotScratch struct {
+	jobs      []*JobState
+	freeSlots []int
+	fair      []float64 // fair slot share, by job position
+	used      []float64 // slots occupied, by job position
+	deficit   []float64 // fair minus used share, by job position
+	fetch     []pendingFetcher
+	heap      []int // job positions, max-heap by (deficit, -position)
+}
+
+// heapMore orders the selection heap: largest deficit first, ties by
+// ascending job position. The reference scan keeps the first job (in
+// list order) achieving the maximum deficit, which is exactly the
+// maximum of this strict total order.
+func (sc *slotScratch) heapMore(a, b int) bool {
+	if sc.deficit[a] != sc.deficit[b] {
+		return sc.deficit[a] > sc.deficit[b]
+	}
+	return a < b
+}
+
+func (sc *slotScratch) heapPush(p int) {
+	sc.heap = append(sc.heap, p)
+	i := len(sc.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !sc.heapMore(sc.heap[i], sc.heap[parent]) {
+			break
+		}
+		sc.heap[i], sc.heap[parent] = sc.heap[parent], sc.heap[i]
+		i = parent
+	}
+}
+
+func (sc *slotScratch) heapPop() {
+	n := len(sc.heap) - 1
+	sc.heap[0] = sc.heap[n]
+	sc.heap = sc.heap[:n]
+	if n > 0 {
+		sc.siftDown()
+	}
+}
+
+// siftDown restores the heap property after the root's key changed (a
+// placement only ever shrinks the picked job's deficit) or after a pop.
+func (sc *slotScratch) siftDown() {
+	i := 0
+	n := len(sc.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && sc.heapMore(sc.heap[l], sc.heap[largest]) {
+			largest = l
+		}
+		if r < n && sc.heapMore(sc.heap[r], sc.heap[largest]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		sc.heap[i], sc.heap[largest] = sc.heap[largest], sc.heap[i]
+		i = largest
+	}
 }
 
 // NewSlotFair returns a slot-based fair scheduler with 2 GB slots.
@@ -35,8 +108,123 @@ func (s *SlotFair) slotsOf(memGB float64) int {
 }
 
 // Schedule implements Scheduler: repeatedly give the next free slot(s) to
-// the job occupying the fewest slots relative to its fair share.
+// the job occupying the fewest slots relative to its fair share. The
+// default fast path keeps the jobs in a max-heap keyed by slot deficit —
+// only the picked job's deficit changes per placement, so selection is
+// O(log jobs) instead of the reference's O(jobs) rescan, with identical
+// decisions.
 func (s *SlotFair) Schedule(v *View) []Assignment {
+	if s.Reference {
+		return s.scheduleReference(v)
+	}
+	sc := &s.scratch
+	sc.jobs = sc.jobs[:0]
+	for _, j := range v.Jobs {
+		if j.Status.HasRunnable() {
+			sc.jobs = append(sc.jobs, j)
+		}
+	}
+	jobs := sc.jobs
+	if len(jobs) == 0 {
+		return nil
+	}
+	if cap(sc.freeSlots) < len(v.Machines) {
+		sc.freeSlots = make([]int, len(v.Machines))
+	}
+	sc.freeSlots = sc.freeSlots[:len(v.Machines)]
+	totalFree := 0
+	for i, m := range v.Machines {
+		sc.freeSlots[i] = 0
+		if m.Down {
+			continue // crashed machine: no slots
+		}
+		total := int(m.Capacity.Get(resources.Memory) / s.SlotGB)
+		used := int(math.Round(m.Allocated.Get(resources.Memory) / s.SlotGB))
+		sc.freeSlots[i] = total - used
+		if sc.freeSlots[i] < 0 {
+			sc.freeSlots[i] = 0
+		}
+		totalFree += sc.freeSlots[i]
+	}
+	if totalFree == 0 {
+		return nil
+	}
+	var totalWeight float64
+	for _, j := range v.Jobs {
+		totalWeight += j.Job.Weight
+	}
+	if totalWeight == 0 {
+		// Zero total weight makes every fair share NaN; the reference
+		// scan then never finds a pick (NaN beats nothing) and places no
+		// tasks. Match it without feeding NaN keys to the heap.
+		return nil
+	}
+	var totalSlots float64
+	for _, m := range v.Machines {
+		if m.Down {
+			continue
+		}
+		totalSlots += math.Floor(m.Capacity.Get(resources.Memory) / s.SlotGB)
+	}
+	if totalSlots == 0 {
+		return nil
+	}
+	if cap(sc.fair) < len(jobs) {
+		sc.fair = make([]float64, len(jobs))
+		sc.used = make([]float64, len(jobs))
+		sc.deficit = make([]float64, len(jobs))
+		sc.fetch = make([]pendingFetcher, len(jobs))
+	}
+	sc.fair = sc.fair[:len(jobs)]
+	sc.used = sc.used[:len(jobs)]
+	sc.deficit = sc.deficit[:len(jobs)]
+	sc.fetch = sc.fetch[:len(jobs)]
+	sc.heap = sc.heap[:0]
+	for p, j := range jobs {
+		sc.fair[p] = j.Job.Weight / totalWeight
+		sc.used[p] = j.Alloc.Get(resources.Memory) / s.SlotGB
+		sc.deficit[p] = sc.fair[p] - sc.used[p]/totalSlots
+		sc.fetch[p].reset(j)
+		sc.heapPush(p)
+	}
+
+	var out []Assignment
+	for totalFree > 0 && len(sc.heap) > 0 {
+		// The heap top is the placeable job furthest below fair share.
+		// Jobs out of runnable tasks, or whose next task fits nowhere,
+		// stay that way for the rest of the round: drop them for good.
+		p := sc.heap[0]
+		pick := jobs[p]
+		task := sc.fetch[p].Peek()
+		if task == nil {
+			sc.heapPop()
+			continue
+		}
+		id := pick.Job.ID
+		peak, _ := v.Demand(pick, task)
+		need := s.slotsOf(peak.Get(resources.Memory))
+		mid := s.pickMachine(task, sc.freeSlots, need)
+		if mid < 0 {
+			// Task too big for any machine right now.
+			sc.heapPop()
+			continue
+		}
+		sc.fetch[p].Consume()
+		sc.freeSlots[mid] -= need
+		totalFree -= need
+		sc.used[p] += float64(need)
+		sc.deficit[p] = sc.fair[p] - sc.used[p]/totalSlots
+		sc.siftDown() // deficit only shrank: re-sink the root
+		// Charge memory only: that is all a slot scheduler allocates.
+		local := resources.Vector{}.With(resources.Memory, float64(need)*s.SlotGB)
+		out = append(out, Assignment{JobID: id, Task: task, Machine: mid, Local: local})
+	}
+	return out
+}
+
+// scheduleReference is the original selection loop, kept as the decision
+// oracle for the fast path.
+func (s *SlotFair) scheduleReference(v *View) []Assignment {
 	jobs := withRunnable(v)
 	if len(jobs) == 0 {
 		return nil

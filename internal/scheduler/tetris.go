@@ -1,7 +1,7 @@
 package scheduler
 
 import (
-	"math"
+	"sort"
 
 	"github.com/tetris-sched/tetris/internal/resources"
 	"github.com/tetris-sched/tetris/internal/workload"
@@ -47,6 +47,35 @@ type TetrisConfig struct {
 	// the machine accepts no other new tasks until the starved task fits.
 	// Zero disables (the paper's deployment did not need it).
 	StarvationSec float64
+	// Core selects the Schedule implementation. The default
+	// (CoreIncremental) is the optimized hot path; CoreReference is the
+	// original straight-line implementation kept as the behavioural
+	// oracle. Both produce bit-identical assignment sequences — the
+	// differential equivalence suite (equivalence_test.go) and
+	// FuzzScheduleEquivalence enforce it.
+	Core Core
+}
+
+// Core selects between the two decision-identical Schedule
+// implementations.
+type Core int
+
+const (
+	// CoreIncremental (the zero value) is the optimized core: per-round
+	// task demand indexes, version-stamped score/feasibility caches and
+	// scratch-buffer reuse.
+	CoreIncremental Core = iota
+	// CoreReference is the original implementation, kept as the oracle
+	// the equivalence suite and fuzzer compare against.
+	CoreReference
+)
+
+// String names the core for experiment output.
+func (c Core) String() string {
+	if c == CoreReference {
+		return "reference"
+	}
+	return "incremental"
 }
 
 // DefaultTetrisConfig returns the paper's default operating point:
@@ -83,6 +112,22 @@ type Tetris struct {
 	// waited past StarvationSec, a machine is reserved for it.
 	firstSeen map[*workload.Task]float64
 	reserved  map[int]*workload.Task // machine → starved task holding it
+	// resOrder is scratch for iterating reservations in deterministic
+	// (machine-id) order.
+	resOrder []int
+	// inc holds the incremental core's round-scoped caches and scratch
+	// buffers (tetris_incremental.go). Lazily initialized.
+	inc incrState
+	// epsTrace, when non-nil, records every ε value the inner loop
+	// computes, in decision order. Test hook for the ε regression suite.
+	epsTrace *[]float64
+}
+
+// recordEps appends ε to the test trace when enabled.
+func (t *Tetris) recordEps(eps float64) {
+	if t.epsTrace != nil {
+		*t.epsTrace = append(*t.epsTrace, eps)
+	}
 }
 
 type locEntry struct {
@@ -174,6 +219,13 @@ type candidate struct {
 	remote []RemoteCharge
 	align  float64
 	inTail bool
+	// p is the job's remaining-work score, denormalized into the
+	// candidate by the incremental core so selection needs no map
+	// lookups. The reference core leaves it zero and reads pScore.
+	p float64
+	// tr is the incremental core's cache entry for the task, so a
+	// placement can stamp it taken without a map access. Reference: nil.
+	tr *taskRound
 }
 
 // stageRun is the per-round view of one job stage's pending tasks. Tasks
@@ -189,6 +241,11 @@ type stageRun struct {
 	takenCnt int
 	inTail   bool
 	eligible bool
+	// trs caches the incremental core's taskRound entry per position in
+	// tasks (padded lazily), replacing a map lookup per scanned task.
+	// Within a round the pending set is stable, so positions are too.
+	// The reference core leaves it unused.
+	trs []*taskRound
 }
 
 // ensureFetched extends the fetched prefix when the round has consumed
@@ -260,129 +317,33 @@ func (t *Tetris) buildRound(v *View, sorted []*JobState, eligible map[int]bool) 
 // repeatedly picks the feasible task with the highest combined score
 // (alignment − ε·remaining-work), honoring the fairness and barrier
 // knobs, until nothing more fits (§3.2–§3.5).
+//
+// Two decision-identical implementations back it: the incremental core
+// (default; tetris_incremental.go) and the reference core the paper's
+// pseudo-code maps onto directly (tetris_reference.go). Selection is
+// TetrisConfig.Core; the equivalence suite keeps them bit-identical.
 func (t *Tetris) Schedule(v *View) []Assignment {
-	var withRunnable []*JobState
-	for _, j := range v.Jobs {
-		t.indexJob(j)
-		if j.Status.HasRunnable() {
-			withRunnable = append(withRunnable, j)
-		}
+	if t.cfg.Core == CoreReference {
+		return t.scheduleReference(v)
 	}
-	if len(withRunnable) == 0 {
-		return nil
-	}
-	// Fairness restriction: consider only the (1−f) fraction of jobs
-	// furthest from their fair (dominant-resource) share.
-	sorted := sortByDeficit(v, withRunnable, func(j *JobState) float64 {
-		return dominantShare(j, v.Total, nil)
-	})
-	eligibleCount := int(math.Ceil((1 - t.cfg.Fairness) * float64(len(sorted))))
-	if eligibleCount < 1 {
-		eligibleCount = 1
-	}
-	eligible := make(map[int]bool, eligibleCount)
-	for _, j := range sorted[:eligibleCount] {
-		eligible[j.Job.ID] = true
-	}
-
-	// Job remaining-work scores and their mean, computed once per round.
-	pScore := make(map[int]float64, len(sorted))
-	var pSum float64
-	for _, j := range sorted {
-		p := t.remainingWork(v, j)
-		pScore[j.Job.ID] = p
-		pSum += p
-	}
-	pMean := pSum / float64(len(sorted))
-
-	// Per-round free-resource ledger.
-	free := make([]resources.Vector, len(v.Machines))
-	for i, m := range v.Machines {
-		if m.Down {
-			continue // no headroom: also blocks remote charges at dead sources
-		}
-		free[i] = m.FreePacking()
-		if t.cfg.HotspotThreshold > 0 {
-			for _, k := range resources.Kinds() {
-				if c := m.Capacity.Get(k); c > 0 && m.Reported.Get(k) > t.cfg.HotspotThreshold*c {
-					free[i] = resources.Vector{} // hot machine: place nothing
-					break
-				}
-			}
-		}
-	}
-	rs := t.buildRound(v, sorted, eligible)
-	var out []Assignment
-
-	// Starvation prevention: retire stale reservations, try to place
-	// reserved tasks first, and keep reserved machines closed otherwise.
-	if t.cfg.StarvationSec > 0 {
-		out = append(out, t.serveReservations(v, free, rs)...)
-	}
-
-	for _, m := range v.Machines {
-		if m.Down {
-			continue // crashed/unreachable machine: place nothing
-		}
-		if t.reserved[m.ID] != nil {
-			continue // machine held for a starved task
-		}
-		for {
-			cands := t.collectCandidates(v, m.ID, free, rs)
-			if len(cands) == 0 {
-				break
-			}
-			// ε normalization: mean alignment of current candidates over
-			// mean remaining work of active jobs (§3.3.2).
-			var aSum float64
-			for i := range cands {
-				aSum += cands[i].align
-			}
-			aMean := aSum / float64(len(cands))
-			eps := 0.0
-			if pMean > 0 {
-				eps = t.cfg.EpsilonMultiplier * aMean / pMean
-			}
-
-			best := -1
-			bestScore := math.Inf(-1)
-			for i := range cands {
-				score := cands[i].align - eps*pScore[cands[i].job.Job.ID]
-				if t.cfg.SRTFOnly {
-					score = -pScore[cands[i].job.Job.ID]
-				}
-				if score > bestScore {
-					bestScore = score
-					best = i
-				}
-			}
-			c := cands[best]
-			out = append(out, Assignment{
-				JobID:   c.job.Job.ID,
-				Task:    c.task,
-				Machine: m.ID,
-				Local:   c.demand,
-				Remote:  c.remote,
-			})
-			rs.taken[c.task] = true
-			free[m.ID] = free[m.ID].Sub(c.demand).Max(resources.Vector{})
-			for _, rc := range c.remote {
-				free[rc.Machine] = free[rc.Machine].Sub(rc.Charge).Max(resources.Vector{})
-			}
-		}
-	}
-	if t.cfg.StarvationSec > 0 {
-		t.detectStarvation(v, rs)
-	}
-	return out
+	return t.scheduleIncremental(v)
 }
 
 // serveReservations places starved tasks on their reserved machines when
 // they finally fit, and clears reservations whose task is gone. Caller
-// must have StarvationSec > 0.
+// must have StarvationSec > 0. Reservations are visited in ascending
+// machine-id order: map iteration order must not leak into the
+// assignment sequence, or replays (and the reference/incremental
+// equivalence) stop being deterministic.
 func (t *Tetris) serveReservations(v *View, free []resources.Vector, rs *roundState) []Assignment {
 	var out []Assignment
-	for mid, task := range t.reserved {
+	t.resOrder = t.resOrder[:0]
+	for mid := range t.reserved {
+		t.resOrder = append(t.resOrder, mid)
+	}
+	sort.Ints(t.resOrder)
+	for _, mid := range t.resOrder {
+		task := t.reserved[mid]
 		j, ok := rs.byJob[task.ID.Job]
 		if !ok || j.Status.State(task.ID) != workload.Pending {
 			delete(t.reserved, mid) // placed elsewhere or job finished
@@ -465,134 +426,24 @@ func (t *Tetris) detectStarvation(v *View, rs *roundState) {
 	}
 }
 
-// collectCandidates gathers the feasible tasks for machine mid: per
-// (job, stage) the first few untaken pending tasks, plus pending tasks
-// with input local to the machine. If any candidate is in a barrier tail
-// (§3.5), only tail candidates are returned; tail preference bypasses the
-// fairness restriction, since it takes only a small amount of resources.
-func (t *Tetris) collectCandidates(v *View, mid int, free []resources.Vector, rs *roundState) []candidate {
-	avail := free[mid]
-	if avail.IsZero() {
-		return nil
-	}
-	capacity := v.Machines[mid].Capacity
-	var cands []candidate
-	anyTail := false
-	var seen map[*workload.Task]bool // allocated lazily; locals may duplicate
+// perStage and scanBudget bound each stage's candidate gathering: up to
+// perStage *feasible* candidates per stage, examining at most scanBudget
+// pending tasks. Tasks within a stage have similar demands but different
+// input locations, so an infeasible head (its source machines busy) must
+// not block the rest of the stage. Both cores share the constants — the
+// scan shape is part of the policy's decisions.
+const (
+	perStage   = 3
+	scanBudget = 16
+)
 
-	consider := func(j *JobState, task *workload.Task, inTail bool) {
-		if seen[task] {
-			return
-		}
-		peak := v.DemandPeak(j, task)
-		affinity := task.HasLocalAffinity(mid)
-		var d resources.Vector
-		if affinity {
-			d = EffectiveDemand(peak, task, mid)
-		} else {
-			var ok bool
-			d, ok = rs.demandCache[task]
-			if !ok {
-				d = EffectiveDemand(peak, task, -1)
-				rs.demandCache[task] = d
-			}
-		}
-		if t.cfg.CPUMemOnly {
-			d = resources.Vector{}.
-				With(resources.CPU, d.Get(resources.CPU)).
-				With(resources.Memory, d.Get(resources.Memory))
-		}
-		if !d.FitsIn(avail) {
-			return
-		}
-		var remote []RemoteCharge
-		if !t.cfg.CPUMemOnly && !t.cfg.DisableRemoteCharges && task.RemoteInputMB(mid) > 0 {
-			if affinity {
-				remote = RemoteCharges(peak, task, mid) // partial locality: machine-specific
-			} else {
-				var ok bool
-				remote, ok = rs.chargeCache[task]
-				if !ok {
-					remote = RemoteCharges(peak, task, -1)
-					rs.chargeCache[task] = remote
-				}
-			}
-			remote = LiveCharges(v, remote) // dead sources read from replicas
-			for _, rc := range remote {
-				if !rc.Charge.FitsIn(free[rc.Machine]) {
-					return
-				}
-			}
-		}
-		if seen == nil {
-			seen = make(map[*workload.Task]bool, 8)
-		}
-		seen[task] = true
-		align := t.cfg.Scorer.Score(d, avail, capacity)
-		if remote != nil {
-			align *= 1 - t.cfg.RemotePenalty
-		}
-		cands = append(cands, candidate{job: j, task: task, demand: d, remote: remote, align: align, inTail: inTail})
-		if inTail {
-			anyTail = true
-		}
-	}
-
-	// Per stage: gather up to perStage *feasible* candidates, examining
-	// at most scanBudget pending tasks. Tasks within a stage have similar
-	// demands but different input locations, so an infeasible head (its
-	// source machines busy) must not block the rest of the stage.
-	const (
-		perStage   = 3
-		scanBudget = 16
-	)
-	for _, sr := range rs.stages {
-		if !sr.eligible && !sr.inTail {
-			continue
-		}
-		if sr.takenCnt >= sr.pending {
-			continue
-		}
-		added, scanned := 0, 0
-		for i := sr.cursor; added < perStage && scanned < scanBudget; i++ {
-			if i >= len(sr.tasks) {
-				if len(sr.tasks) >= sr.pending {
-					break
-				}
-				sr.ensureFetched()
-				if i >= len(sr.tasks) {
-					break
-				}
-			}
-			task := sr.tasks[i]
-			if rs.taken[task] {
-				if i == sr.cursor {
-					sr.cursor++
-				}
-				continue
-			}
-			scanned++
-			before := len(cands)
-			consider(sr.job, task, sr.inTail)
-			if len(cands) > before {
-				added++
-			}
-		}
-	}
-	// Tasks with input blocks on this machine (bounded scan with lazy
-	// compaction: entries whose task left the pending state are dropped).
-	t.scanLocals(v, mid, rs, consider)
-
-	if anyTail {
-		tail := cands[:0]
-		for _, c := range cands {
-			if c.inTail {
-				tail = append(tail, c)
-			}
-		}
-		return tail
-	}
-	return cands
+// projectCPUMem restricts a demand vector to CPU and memory — the
+// CPUMemOnly ablation's view of the world. Shared by both cores so the
+// arithmetic (and therefore the decisions) stays identical.
+func projectCPUMem(d resources.Vector) resources.Vector {
+	return resources.Vector{}.
+		With(resources.CPU, d.Get(resources.CPU)).
+		With(resources.Memory, d.Get(resources.Memory))
 }
 
 // scanLocals walks the locality index of machine mid, feeding pending

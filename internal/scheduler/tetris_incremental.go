@@ -1,0 +1,660 @@
+package scheduler
+
+import (
+	"math"
+	"sort"
+
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// This file is the incremental Tetris core, the default Schedule
+// implementation (TetrisConfig.Core == CoreIncremental). It makes the
+// same decisions as the reference core (tetris_reference.go) — the
+// differential equivalence suite and FuzzScheduleEquivalence assert the
+// two emit bit-identical assignment sequences — but avoids the
+// reference's per-placement recomputation:
+//
+//   - Per-task round state (taskRound) caches the demand estimate, the
+//     placement-adjusted demand vector, its capacity-normalized form and
+//     the remote-source charges, so each is computed once per (task,
+//     machine) instead of once per placement.
+//   - Alignment scores are cached per (task, machine) and stamped with
+//     the machine's free-vector version (freeVer); a placement bumps the
+//     version of every machine whose ledger it touched (the target and
+//     each remote source), which is the dirty-set that invalidates only
+//     the affected scores.
+//   - Feasibility failures are remembered: free vectors only ever shrink
+//     within a round, so a task that did not fit a machine (or whose
+//     remote sources could not absorb its charges) is skipped with a
+//     single flag test on every later placement — the early-exit prune.
+//   - Remote-source feasibility is memoized with the version-sum of the
+//     source machines' ledgers and rechecked only when one changed.
+//   - Every round-scoped structure (candidate buffer, stage runs, free
+//     ledger, maps) is scratch reused across rounds, so a steady-state
+//     round performs no heap allocations beyond the returned
+//     assignments (asserted by TestScheduleAllocs).
+//
+// Equivalence hinges on mirroring the reference's control flow exactly:
+// the stage scans advance the same cursors, trigger the same fetches and
+// feed scanLocals the same way, because those side effects persist into
+// starvation detection and later rounds. Only redundant recomputation is
+// elided, never a decision-shaping step.
+//
+// One caching assumption: View.EstimateDemand must be deterministic per
+// (job, task) within a round. The incremental core evaluates it once per
+// task per round, while the reference re-evaluates per placement — a
+// stateful estimator (e.g. one drawing fresh random noise per call) is
+// call-order-dependent under either core and cannot be replayed.
+
+// taskRound is the incremental core's cached per-task state. Entries
+// persist across rounds (keyed by task pointer) and self-invalidate via
+// the round stamp; per-machine fields self-invalidate via mach.
+type taskRound struct {
+	round uint64 // validity stamp for all per-round fields below
+
+	job  *JobState
+	p    float64          // job's remaining-work score this round
+	peak resources.Vector // scheduler-visible peak demand this round
+
+	// base demand and charges for machines holding none of the task's
+	// input — the common case, identical for every such machine.
+	base    resources.Vector // EffectiveDemand(peak, task, -1), projected
+	baseSet bool
+	live    []RemoteCharge // LiveCharges over baseCharges, this round
+	liveSet bool
+	// baseRemoteDead: a base charge failed at its source. Free vectors
+	// only shrink within a round, so the failure is permanent for every
+	// machine using the base charges.
+	baseRemoteDead bool
+
+	// baseCharges persists across rounds: RemoteCharges depends only on
+	// the task's immutable input blocks and flow cap (the peak argument
+	// is unused), so it never changes.
+	baseCharges    []RemoteCharge
+	baseChargesSet bool
+
+	// hasPlaced persists across rounds (input blocks are immutable): a
+	// task with no placed input has no affinity and no remote reads on
+	// any machine, skipping both input scans on every machine refresh.
+	hasPlaced     bool
+	inputsScanned bool
+
+	// normBase caches base.Normalize(cap) keyed by the exact capacity
+	// vector: clusters have few machine classes, so consecutive machines
+	// often share one. Reset each round (base depends on the estimate).
+	normBase    resources.Vector
+	normBaseCap resources.Vector
+	normBaseSet bool
+
+	// takenRound stamps the task as placed this round — the allocation-
+	// free mirror of roundState.taken for the stage scans.
+	takenRound uint64
+
+	// Per-(round, machine) state, valid while mach matches the machine
+	// currently being packed. Machines are packed one at a time and
+	// never revisited within a round, so one machine's worth suffices.
+	mach      int
+	affinity  bool
+	remoteMB  float64
+	d         resources.Vector // placement demand on mach
+	normD     resources.Vector // d normalized by mach's capacity
+	remote    []RemoteCharge   // live charges for placement on mach
+	remoteSet bool
+	failLocal  bool // d did not fit free[mach]: monotone within the round
+	failRemote bool // a charge did not fit its source: monotone
+	remoteOK     bool   // last remote check passed...
+	remoteVerSum uint64 // ...at this Σ freeVer over the source machines
+	alignOK  bool   // cached align valid...
+	alignVer uint32 // ...while freeVer[mach] still equals this
+	align    float64
+
+	tick uint32 // appended-as-candidate stamp for the current collect call
+}
+
+// deficitSorter sorts jobs by fairness deficit (most deprived first, ties
+// by ascending job ID) over scratch slices — the allocation-free
+// equivalent of sortByDeficit. Job IDs are unique, so the order is a
+// strict total order and any sort yields the reference's permutation.
+type deficitSorter struct {
+	jobs []*JobState
+	def  []float64
+}
+
+func (s *deficitSorter) Len() int { return len(s.jobs) }
+func (s *deficitSorter) Less(a, b int) bool {
+	if s.def[a] != s.def[b] {
+		return s.def[a] > s.def[b]
+	}
+	return s.jobs[a].Job.ID < s.jobs[b].Job.ID
+}
+func (s *deficitSorter) Swap(a, b int) {
+	s.jobs[a], s.jobs[b] = s.jobs[b], s.jobs[a]
+	s.def[a], s.def[b] = s.def[b], s.def[a]
+}
+
+// incrState holds the incremental core's caches and scratch buffers,
+// owned by a Tetris instance and reused across Schedule calls.
+type incrState struct {
+	round uint64
+	tick  uint32
+
+	runnable []*JobState
+	sorter   deficitSorter
+	eligible map[int]bool
+	pScore   map[int]float64
+
+	free    []resources.Vector
+	freeVer []uint32
+
+	rs       roundState
+	stageBuf []stageRun // backing array for rs.stages; task slices recycled
+
+	tasks map[*workload.Task]*taskRound
+
+	cands    []candidate
+	aSumAll  float64 // Σ align over all candidates, in append order
+	aSumTail float64 // Σ align over barrier-tail candidates only
+	anyTail  bool
+
+	// Context of the collect call in flight, threaded through fields so
+	// the scanLocals callback needs no per-call closure.
+	curV     *View
+	curMid   int
+	curAvail resources.Vector
+	curCap   resources.Vector
+	curNormA resources.Vector
+	consider func(*JobState, *workload.Task, bool)
+
+	ns NormScorer // non-nil when the configured scorer supports ScoreNorm
+}
+
+// beginRound advances the round stamp and lazily initializes the state.
+func (ic *incrState) beginRound(t *Tetris, v *View) {
+	if ic.tasks == nil {
+		ic.tasks = make(map[*workload.Task]*taskRound)
+		ic.eligible = make(map[int]bool)
+		ic.pScore = make(map[int]float64)
+		ic.consider = t.considerIncr
+		ic.ns, _ = t.cfg.Scorer.(NormScorer)
+	}
+	ic.round++
+	ic.tick = 0
+	ic.curV = v
+	// Periodically drop cache entries for tasks not seen in a while
+	// (finished jobs), so the map does not grow without bound.
+	if ic.round%256 == 0 {
+		for task, tr := range ic.tasks {
+			if ic.round-tr.round > 64 {
+				delete(ic.tasks, task)
+			}
+		}
+	}
+}
+
+// taskRoundFor returns the task's cache entry, resetting per-round fields
+// on first touch in the current round.
+func (ic *incrState) taskRoundFor(j *JobState, task *workload.Task) *taskRound {
+	tr := ic.tasks[task]
+	if tr == nil {
+		tr = &taskRound{}
+		ic.tasks[task] = tr
+	}
+	if tr.round != ic.round {
+		tr.round = ic.round
+		tr.job = j
+		tr.p = ic.pScore[j.Job.ID]
+		tr.peak = ic.curV.DemandPeak(j, task)
+		tr.baseSet = false
+		tr.liveSet = false
+		tr.baseRemoteDead = false
+		tr.normBaseSet = false
+		tr.mach = -1
+		tr.tick = 0
+	}
+	return tr
+}
+
+// sortRunnable orders ic.runnable by fairness deficit exactly like
+// sortByDeficit, without allocating.
+func (ic *incrState) sortRunnable(v *View) []*JobState {
+	var totalWeight float64
+	for _, j := range v.Jobs {
+		totalWeight += j.Job.Weight
+	}
+	s := &ic.sorter
+	s.jobs = ic.runnable
+	s.def = s.def[:0]
+	for _, j := range ic.runnable {
+		fair := 0.0
+		if totalWeight > 0 {
+			fair = j.Job.Weight / totalWeight
+		}
+		s.def = append(s.def, fair-dominantShare(j, v.Total, nil))
+	}
+	sort.Stable(s)
+	return s.jobs
+}
+
+// buildRound mirrors Tetris.buildRound over recycled storage: same stage
+// order, same initial fetch, same eligibility and tail flags.
+func (ic *incrState) buildRound(t *Tetris, v *View, sorted []*JobState) *roundState {
+	rs := &ic.rs
+	if rs.byJob == nil {
+		rs.byJob = make(map[int]*JobState)
+		rs.taken = make(map[*workload.Task]bool)
+	}
+	clear(rs.byJob)
+	clear(rs.taken)
+	rs.eligible = ic.eligible
+	rs.chargeCache = nil // the incremental core caches in taskRound instead
+	rs.demandCache = nil
+	for _, j := range v.Jobs {
+		rs.byJob[j.Job.ID] = j
+	}
+	// Pre-size the stageRun backing array: rs.stages holds pointers into
+	// it, so it must not grow (and relocate) once pointers are taken.
+	// stageBuf always has len == cap so recycled task buffers survive.
+	maxStages := 0
+	for _, j := range sorted {
+		maxStages += len(j.Job.Stages)
+	}
+	if cap(ic.stageBuf) < maxStages {
+		grown := make([]stageRun, maxStages)
+		copy(grown, ic.stageBuf)
+		ic.stageBuf = grown
+	}
+	ic.stageBuf = ic.stageBuf[:cap(ic.stageBuf)]
+	rs.stages = rs.stages[:0]
+	const initialFetch = 4
+	used := 0
+	for _, j := range sorted {
+		for si := range j.Job.Stages {
+			pending := j.Status.PendingInStage(si)
+			if pending == 0 || !j.Status.StageReady(si) {
+				continue
+			}
+			sr := &ic.stageBuf[used]
+			used++
+			buf := sr.tasks[:0]
+			trsBuf := sr.trs[:0]
+			*sr = stageRun{
+				job:      j,
+				stage:    si,
+				pending:  pending,
+				inTail:   j.Status.InBarrierTail(workload.TaskID{Job: j.Job.ID, Stage: si}, t.cfg.Barrier),
+				eligible: ic.eligible[j.Job.ID],
+			}
+			n := initialFetch
+			if n > pending {
+				n = pending
+			}
+			sr.tasks = j.Status.AppendPending(si, n, buf)
+			sr.trs = trsBuf
+			rs.stages = append(rs.stages, sr)
+		}
+	}
+	return rs
+}
+
+// scheduleIncremental is the incremental core's Schedule implementation.
+// Step for step it follows scheduleReference; see the file comment for
+// what is cached between steps.
+func (t *Tetris) scheduleIncremental(v *View) []Assignment {
+	ic := &t.inc
+	ic.beginRound(t, v)
+
+	ic.runnable = ic.runnable[:0]
+	for _, j := range v.Jobs {
+		t.indexJob(j)
+		if j.Status.HasRunnable() {
+			ic.runnable = append(ic.runnable, j)
+		}
+	}
+	if len(ic.runnable) == 0 {
+		return nil
+	}
+	sorted := ic.sortRunnable(v)
+
+	eligibleCount := int(math.Ceil((1 - t.cfg.Fairness) * float64(len(sorted))))
+	if eligibleCount < 1 {
+		eligibleCount = 1
+	}
+	clear(ic.eligible)
+	for _, j := range sorted[:eligibleCount] {
+		ic.eligible[j.Job.ID] = true
+	}
+
+	clear(ic.pScore)
+	var pSum float64
+	for _, j := range sorted {
+		p := t.remainingWork(v, j)
+		ic.pScore[j.Job.ID] = p
+		pSum += p
+	}
+	pMean := pSum / float64(len(sorted))
+
+	if cap(ic.free) < len(v.Machines) {
+		ic.free = make([]resources.Vector, len(v.Machines))
+		ic.freeVer = make([]uint32, len(v.Machines))
+	}
+	ic.free = ic.free[:len(v.Machines)]
+	ic.freeVer = ic.freeVer[:len(v.Machines)]
+	for i := range ic.freeVer {
+		ic.freeVer[i] = 0
+	}
+	for i, m := range v.Machines {
+		ic.free[i] = resources.Vector{}
+		if m.Down {
+			continue // no headroom: also blocks remote charges at dead sources
+		}
+		ic.free[i] = m.FreePacking()
+		if t.cfg.HotspotThreshold > 0 {
+			for _, k := range resources.Kinds() {
+				if c := m.Capacity.Get(k); c > 0 && m.Reported.Get(k) > t.cfg.HotspotThreshold*c {
+					ic.free[i] = resources.Vector{} // hot machine: place nothing
+					break
+				}
+			}
+		}
+	}
+
+	rs := ic.buildRound(t, v, sorted)
+	var out []Assignment
+
+	if t.cfg.StarvationSec > 0 {
+		served := t.serveReservations(v, ic.free, rs)
+		out = append(out, served...)
+		// Mirror the shared rs.taken entries into the takenRound stamps
+		// the incremental stage scans test instead of the map.
+		for _, a := range served {
+			ic.taskRoundFor(rs.byJob[a.JobID], a.Task).takenRound = ic.round
+		}
+	}
+
+	for _, m := range v.Machines {
+		if m.Down {
+			continue // crashed/unreachable machine: place nothing
+		}
+		if t.reserved[m.ID] != nil {
+			continue // machine held for a starved task
+		}
+		for {
+			cands, aSum := t.collectIncr(v, m.ID, rs)
+			if len(cands) == 0 {
+				break
+			}
+			// ε normalization, with the candidate alignment sum carried
+			// out of collection instead of re-summed per placement.
+			aMean := aSum / float64(len(cands))
+			eps := 0.0
+			if pMean > 0 {
+				eps = t.cfg.EpsilonMultiplier * aMean / pMean
+			}
+			t.recordEps(eps)
+
+			best := -1
+			bestScore := math.Inf(-1)
+			for i := range cands {
+				score := cands[i].align - eps*cands[i].p
+				if t.cfg.SRTFOnly {
+					score = -cands[i].p
+				}
+				if score > bestScore {
+					bestScore = score
+					best = i
+				}
+			}
+			c := cands[best]
+			out = append(out, Assignment{
+				JobID:   c.job.Job.ID,
+				Task:    c.task,
+				Machine: m.ID,
+				Local:   c.demand,
+				Remote:  c.remote,
+			})
+			rs.taken[c.task] = true // scanLocals (shared) reads the map
+			c.tr.takenRound = ic.round
+			ic.free[m.ID] = ic.free[m.ID].Sub(c.demand).Max(resources.Vector{})
+			ic.freeVer[m.ID]++
+			for _, rc := range c.remote {
+				ic.free[rc.Machine] = ic.free[rc.Machine].Sub(rc.Charge).Max(resources.Vector{})
+				ic.freeVer[rc.Machine]++
+			}
+		}
+	}
+	if t.cfg.StarvationSec > 0 {
+		t.detectStarvation(v, rs)
+	}
+	return out
+}
+
+// collectIncr is the incremental counterpart of collectCandidates: the
+// same stage scans (advancing the same cursors and triggering the same
+// fetches) and the same locality scan, but candidate evaluation goes
+// through the taskRound caches. Returns the candidates and the sum of
+// their alignment scores (over the tail subset when tail preference
+// applies), accumulated during collection.
+func (t *Tetris) collectIncr(v *View, mid int, rs *roundState) ([]candidate, float64) {
+	ic := &t.inc
+	avail := ic.free[mid]
+	if avail.IsZero() {
+		return nil, 0
+	}
+	ic.curMid = mid
+	ic.curAvail = avail
+	ic.curCap = v.Machines[mid].Capacity
+	if ic.ns != nil {
+		ic.curNormA = avail.Normalize(ic.curCap)
+	}
+	ic.cands = ic.cands[:0]
+	ic.aSumAll, ic.aSumTail = 0, 0
+	ic.anyTail = false
+	ic.tick++
+
+	for _, sr := range rs.stages {
+		if !sr.eligible && !sr.inTail {
+			continue
+		}
+		if sr.takenCnt >= sr.pending {
+			continue
+		}
+		added, scanned := 0, 0
+		for i := sr.cursor; added < perStage && scanned < scanBudget; i++ {
+			if i >= len(sr.tasks) {
+				if len(sr.tasks) >= sr.pending {
+					break
+				}
+				sr.ensureFetched()
+				if i >= len(sr.tasks) {
+					break
+				}
+			}
+			for len(sr.trs) < len(sr.tasks) {
+				sr.trs = append(sr.trs, nil)
+			}
+			task := sr.tasks[i]
+			tr := sr.trs[i]
+			if tr == nil {
+				tr = ic.taskRoundFor(sr.job, task)
+				sr.trs[i] = tr
+			}
+			if tr.takenRound == ic.round {
+				if i == sr.cursor {
+					sr.cursor++
+				}
+				continue
+			}
+			scanned++
+			before := len(ic.cands)
+			t.considerTR(tr, task, sr.inTail)
+			if len(ic.cands) > before {
+				added++
+			}
+		}
+	}
+	t.scanLocals(v, mid, rs, ic.consider)
+
+	cands := ic.cands
+	aSum := ic.aSumAll
+	if ic.anyTail {
+		tail := cands[:0]
+		for _, c := range cands {
+			if c.inTail {
+				tail = append(tail, c)
+			}
+		}
+		ic.cands = tail
+		cands = tail
+		aSum = ic.aSumTail
+	}
+	return cands, aSum
+}
+
+// considerIncr evaluates one (task, machine) option through the caches,
+// reproducing the reference consider closure's outcome: it appends a
+// candidate exactly when the reference would, with bit-identical demand,
+// charges and alignment.
+func (t *Tetris) considerIncr(j *JobState, task *workload.Task, inTail bool) {
+	t.considerTR(t.inc.taskRoundFor(j, task), task, inTail)
+}
+
+// considerTR is considerIncr after the cache-entry lookup — the stage
+// scans resolve tr positionally and call it directly.
+func (t *Tetris) considerTR(tr *taskRound, task *workload.Task, inTail bool) {
+	ic := &t.inc
+	if tr.tick == ic.tick {
+		return // already a candidate in this collect call
+	}
+	mid := ic.curMid
+	if tr.mach != mid {
+		tr.mach = mid
+		if !tr.inputsScanned {
+			tr.inputsScanned = true
+			for _, b := range task.Inputs {
+				if b.Machine >= 0 {
+					tr.hasPlaced = true
+					break
+				}
+			}
+		}
+		if tr.hasPlaced {
+			tr.affinity = task.HasLocalAffinity(mid)
+			tr.remoteMB = task.RemoteInputMB(mid)
+		} else {
+			tr.affinity = false
+			tr.remoteMB = 0
+		}
+		if tr.affinity {
+			d := EffectiveDemand(tr.peak, task, mid)
+			if t.cfg.CPUMemOnly {
+				d = projectCPUMem(d)
+			}
+			tr.d = d
+			if ic.ns != nil {
+				tr.normD = tr.d.Normalize(ic.curCap)
+			}
+		} else {
+			if !tr.baseSet {
+				d := EffectiveDemand(tr.peak, task, -1)
+				if t.cfg.CPUMemOnly {
+					d = projectCPUMem(d)
+				}
+				tr.base = d
+				tr.baseSet = true
+			}
+			tr.d = tr.base
+			if ic.ns != nil {
+				if !tr.normBaseSet || tr.normBaseCap != ic.curCap {
+					tr.normBase = tr.base.Normalize(ic.curCap)
+					tr.normBaseCap = ic.curCap
+					tr.normBaseSet = true
+				}
+				tr.normD = tr.normBase
+			}
+		}
+		tr.remote = nil
+		tr.remoteSet = false
+		tr.failLocal = false
+		tr.failRemote = !tr.affinity && tr.baseRemoteDead
+		tr.remoteOK = false
+		tr.alignOK = false
+	}
+	if tr.failLocal || tr.failRemote {
+		return // early-exit prune: free only shrinks, the failure stands
+	}
+	if !tr.d.FitsIn(ic.curAvail) {
+		tr.failLocal = true
+		return
+	}
+	if !t.cfg.CPUMemOnly && !t.cfg.DisableRemoteCharges && tr.remoteMB > 0 {
+		if !tr.remoteSet {
+			if tr.affinity {
+				// Partial locality: charges are machine-specific.
+				tr.remote = LiveCharges(ic.curV, RemoteCharges(tr.peak, task, mid))
+			} else {
+				if !tr.liveSet {
+					if !tr.baseChargesSet {
+						tr.baseCharges = RemoteCharges(tr.peak, task, -1)
+						tr.baseChargesSet = true
+					}
+					tr.live = LiveCharges(ic.curV, tr.baseCharges)
+					tr.liveSet = true
+				}
+				tr.remote = tr.live
+			}
+			tr.remoteSet = true
+		}
+		// Recheck source feasibility only when some source's ledger
+		// version moved since the last passing check.
+		var verSum uint64
+		for _, rc := range tr.remote {
+			verSum += uint64(ic.freeVer[rc.Machine])
+		}
+		if !tr.remoteOK || verSum != tr.remoteVerSum {
+			for _, rc := range tr.remote {
+				if !rc.Charge.FitsIn(ic.free[rc.Machine]) {
+					tr.failRemote = true
+					if !tr.affinity {
+						tr.baseRemoteDead = true
+					}
+					return
+				}
+			}
+			tr.remoteOK = true
+			tr.remoteVerSum = verSum
+		}
+	}
+	var align float64
+	if tr.alignOK && tr.alignVer == ic.freeVer[mid] {
+		align = tr.align
+	} else {
+		if ic.ns != nil {
+			align = ic.ns.ScoreNorm(tr.normD, ic.curNormA)
+		} else {
+			align = t.cfg.Scorer.Score(tr.d, ic.curAvail, ic.curCap)
+		}
+		if tr.remote != nil {
+			align *= 1 - t.cfg.RemotePenalty
+		}
+		tr.align = align
+		tr.alignVer = ic.freeVer[mid]
+		tr.alignOK = true
+	}
+	tr.tick = ic.tick
+	ic.cands = append(ic.cands, candidate{
+		job:    tr.job,
+		task:   task,
+		demand: tr.d,
+		remote: tr.remote,
+		align:  align,
+		inTail: inTail,
+		p:      tr.p,
+		tr:     tr,
+	})
+	ic.aSumAll += align
+	if inTail {
+		ic.anyTail = true
+		ic.aSumTail += align
+	}
+}

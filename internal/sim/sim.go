@@ -208,6 +208,11 @@ type Sim struct {
 	crashedAt []float64 // crash time of currently-down machines
 	chaosRand *rand.Rand
 	res       *Result
+	// Scratch for schedule(): the view and its job list are rebuilt every
+	// round (the scheduler must not retain them) but reuse one backing
+	// array, so a tick allocates nothing on the view-building side.
+	view     scheduler.View
+	viewJobs []*scheduler.JobState
 }
 
 // New validates the configuration and prepares a run.
@@ -443,15 +448,18 @@ func (s *Sim) schedule() {
 	if len(s.active) == 0 {
 		return
 	}
-	v := &scheduler.View{
+	v := &s.view
+	*v = scheduler.View{
 		Time:           s.clock,
 		Machines:       s.machines,
 		Total:          s.total,
 		EstimateDemand: s.cfg.EstimateDemand,
+		Jobs:           s.viewJobs[:0],
 	}
 	for _, jr := range s.active {
 		v.Jobs = append(v.Jobs, jr.state)
 	}
+	s.viewJobs = v.Jobs
 	s.updateReported()
 	asgs := s.cfg.Scheduler.Schedule(v)
 	for _, a := range asgs {

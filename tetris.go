@@ -130,6 +130,16 @@ type (
 	Assignment = scheduler.Assignment
 	// View is the cluster snapshot a Scheduler decides over.
 	View = scheduler.View
+	// Core selects between the Tetris scheduler's two decision-identical
+	// Schedule implementations.
+	Core = scheduler.Core
+)
+
+// Tetris Schedule cores: the incremental hot path (default) and the
+// reference implementation it is differentially tested against.
+const (
+	CoreIncremental = scheduler.CoreIncremental
+	CoreReference   = scheduler.CoreReference
 )
 
 // DefaultConfig returns the paper's default operating point: fairness
