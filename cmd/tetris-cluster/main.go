@@ -20,6 +20,7 @@ import (
 	tetris "github.com/tetris-sched/tetris"
 	"github.com/tetris-sched/tetris/internal/am"
 	"github.com/tetris-sched/tetris/internal/faults"
+	"github.com/tetris-sched/tetris/internal/journal"
 	"github.com/tetris-sched/tetris/internal/nm"
 	"github.com/tetris-sched/tetris/internal/rm"
 )
@@ -36,8 +37,16 @@ func main() {
 		killNode    = flag.Int("kill-node", -1, "node ID to kill mid-run (-1 = none; requires -node-timeout)")
 		killAfter   = flag.Duration("kill-after", time.Second, "when to kill -kill-node")
 		reviveAfter = flag.Duration("revive-after", 0, "start a replacement NM this long after the kill (0 = never)")
+
+		journalDir = flag.String("journal-dir", "", "RM write-ahead journal directory (empty = no durability); a restarted RM pointed at the same directory recovers its state")
+		fsyncMode  = flag.String("fsync", "interval", "journal fsync policy: interval, always, or never")
+		snapEvery  = flag.Int("snapshot-every", 0, "journal records between snapshot checkpoints (0 = default)")
 	)
 	flag.Parse()
+	syncPolicy, err := journal.ParsePolicy(*fsyncMode)
+	if err != nil {
+		log.Fatalf("-fsync: %v", err)
+	}
 	if *killNode >= 0 && *nodeTimeout <= 0 {
 		log.Fatal("-kill-node needs -node-timeout, or the RM will wait on the dead node forever")
 	}
@@ -50,16 +59,22 @@ func main() {
 		logger = log.New(os.Stderr, "", log.Lmicroseconds)
 	}
 	srv, err := rm.New("127.0.0.1:0", rm.Config{
-		Scheduler:   tetris.NewScheduler(tetris.DefaultConfig()),
-		Estimator:   tetris.NewEstimator(),
-		Logger:      logger,
-		NodeTimeout: *nodeTimeout,
+		Scheduler:     tetris.NewScheduler(tetris.DefaultConfig()),
+		Estimator:     tetris.NewEstimator(),
+		Logger:        logger,
+		NodeTimeout:   *nodeTimeout,
+		JournalDir:    *journalDir,
+		JournalSync:   syncPolicy,
+		SnapshotEvery: *snapEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
 	fmt.Printf("resource manager listening on %s\n", srv.Addr())
+	if *journalDir != "" {
+		fmt.Printf("journaling to %s (fsync=%s)\n", *journalDir, *fsyncMode)
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
@@ -155,6 +170,12 @@ func main() {
 	nmMean, nmMax, amMean, amMax := srv.HeartbeatStats()
 	fmt.Printf("RM heartbeat cost: NM mean %.0fµs max %.0fµs; AM mean %.0fµs max %.0fµs\n",
 		nmMean*1e6, nmMax*1e6, amMean*1e6, amMax*1e6)
+	if appends, snaps, ok := srv.JournalStats(); ok {
+		fmt.Printf("journal: %d records appended, %d snapshots\n", appends, snaps)
+	}
+	if dropped := srv.DroppedFaultEvents(); dropped > 0 {
+		fmt.Printf("fault log: %d oldest records evicted from the bounded ring\n", dropped)
+	}
 	if ev := srv.FaultEvents(); len(ev) > 0 {
 		st := srv.ClusterStatus()
 		fmt.Printf("cluster: %d/%d nodes live\n", len(st.Live), st.Nodes)

@@ -8,7 +8,6 @@ import (
 	"context"
 	"fmt"
 	"net"
-	"strings"
 	"time"
 
 	"github.com/tetris-sched/tetris/internal/faults"
@@ -28,6 +27,10 @@ type Config struct {
 	// The initial dial and submission are never retried: a job that
 	// cannot even be submitted should fail fast.
 	MaxReconnects int
+	// ReconnectWindow additionally caps the total backoff delay spent on
+	// consecutive reconnect attempts (the faults.Backoff max-elapsed
+	// cutoff). Zero means no time cap — only MaxReconnects applies.
+	ReconnectWindow time.Duration
 }
 
 // Result is the outcome of one job run.
@@ -107,6 +110,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	bo := faults.NewBackoff(100*time.Millisecond, 5*time.Second, int64(cfg.Job.ID)+1)
+	bo.MaxElapsed = cfg.ReconnectWindow
 	ticker := time.NewTicker(cfg.Poll)
 	defer ticker.Stop()
 	for {
@@ -145,19 +149,26 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 }
 
 // reconnect re-establishes the RM link after a mid-poll transport
-// failure and resubmits the job so a restarted RM relearns it. Returns
-// the new connection, or an error once the retry budget is spent, the
-// context ends, or the RM definitively rejects the resubmission.
+// failure and resubmits the job so a restarted RM relearns it — the RM
+// deduplicates identical definitions, so resubmission is always safe. A
+// journal-recovered RM already knows the job and simply reports its
+// progress. Returns the new connection, or an error once the retry
+// budget (attempt count or elapsed window) is spent, the context ends,
+// or the RM definitively rejects the resubmission.
 func reconnect(ctx context.Context, cfg Config, bo *faults.Backoff, maxRetry int, cause error) (*rmConn, error) {
 	lastErr := cause
 	for {
 		if bo.Attempts() >= maxRetry {
 			return nil, fmt.Errorf("am: rm unreachable after %d reconnect attempts: %w", bo.Attempts(), lastErr)
 		}
+		d := bo.Next()
+		if bo.Exhausted() {
+			return nil, fmt.Errorf("am: rm unreachable after %v of reconnect backoff: %w", bo.Elapsed(), lastErr)
+		}
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(bo.Next()):
+		case <-time.After(d):
 		}
 		c, err := dialRM(ctx, cfg.RMAddr)
 		if err != nil {
@@ -176,7 +187,7 @@ func reconnect(ctx context.Context, cfg Config, bo *faults.Backoff, maxRetry int
 			lastErr = err
 			continue
 		}
-		if reply.Type == wire.TypeError && !strings.Contains(reply.Error, "already submitted") {
+		if reply.Type == wire.TypeError {
 			c.close()
 			return nil, fmt.Errorf("am: rm rejected resubmission: %s", reply.Error)
 		}

@@ -7,6 +7,7 @@
 package estimator
 
 import (
+	"sort"
 	"sync"
 
 	"github.com/tetris-sched/tetris/internal/resources"
@@ -151,6 +152,80 @@ func (e *Estimator) StageCoV(jobID, stage int) float64 {
 		return ss.duration.CoV()
 	}
 	return 0
+}
+
+// StageState is the serializable statistics of one (job|lineage, stage)
+// pair, used when checkpointing the estimator into the RM journal.
+type StageState struct {
+	Key      int                                   `json:"key"` // job ID or lineage ID
+	Stage    int                                   `json:"stage"`
+	Peak     [resources.NumKinds]stats.OnlineState `json:"peak"`
+	Duration stats.OnlineState                     `json:"duration"`
+}
+
+// State is the serializable snapshot of an Estimator's accumulated
+// statistics (tuning knobs are configuration, not state). Entries are
+// sorted by (key, stage) so the encoding is deterministic — the RM's
+// journal-replay equivalence check compares snapshots byte for byte.
+type State struct {
+	Current []StageState `json:"current,omitempty"`
+	History []StageState `json:"history,omitempty"`
+}
+
+func exportStage(key, stage int, ss *stageStats) StageState {
+	st := StageState{Key: key, Stage: stage, Duration: ss.duration.State()}
+	for k := 0; k < int(resources.NumKinds); k++ {
+		st.Peak[k] = ss.peak[k].State()
+	}
+	return st
+}
+
+func importStage(st StageState) *stageStats {
+	ss := &stageStats{}
+	ss.duration.SetState(st.Duration)
+	for k := 0; k < int(resources.NumKinds); k++ {
+		ss.peak[k].SetState(st.Peak[k])
+	}
+	return ss
+}
+
+func sortStages(xs []StageState) {
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i].Key != xs[j].Key {
+			return xs[i].Key < xs[j].Key
+		}
+		return xs[i].Stage < xs[j].Stage
+	})
+}
+
+// Export snapshots the estimator's statistics.
+func (e *Estimator) Export() State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var st State
+	for k, ss := range e.current {
+		st.Current = append(st.Current, exportStage(k.job, k.stage, ss))
+	}
+	for k, ss := range e.history {
+		st.History = append(st.History, exportStage(k.lineage, k.stage, ss))
+	}
+	sortStages(st.Current)
+	sortStages(st.History)
+	return st
+}
+
+// Import replaces the estimator's statistics with an exported snapshot.
+func (e *Estimator) Import(st State) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.current = make(map[stageKey]*stageStats, len(st.Current))
+	e.history = make(map[lineageKey]*stageStats, len(st.History))
+	for _, s := range st.Current {
+		e.current[stageKey{s.Key, s.Stage}] = importStage(s)
+	}
+	for _, s := range st.History {
+		e.history[lineageKey{s.Key, s.Stage}] = importStage(s)
+	}
 }
 
 // ForgetJob drops the in-flight statistics of a finished job, keeping

@@ -22,8 +22,16 @@ type Backoff struct {
 	// Seed seeds the lazy Rand (default 1); set per node ID so a fleet
 	// of NMs jitters apart deterministically.
 	Seed int64
+	// MaxElapsed caps the total delay handed out since the last Reset:
+	// once the sum of returned delays reaches it, Exhausted reports true
+	// and callers should give up. Zero means no time cutoff (attempts
+	// may still be capped by the caller). Measured over the delays
+	// themselves rather than a wall clock, so schedules stay
+	// deterministic under test.
+	MaxElapsed time.Duration
 
 	attempt int
+	elapsed time.Duration
 }
 
 // NewBackoff returns a Backoff with the given base and cap, 20% jitter,
@@ -66,6 +74,7 @@ func (b *Backoff) Next() time.Duration {
 	if d < 0 {
 		d = base
 	}
+	b.elapsed += d
 	return d
 }
 
@@ -73,5 +82,15 @@ func (b *Backoff) Next() time.Duration {
 // Reset.
 func (b *Backoff) Attempts() int { return b.attempt }
 
-// Reset restarts the schedule after a successful attempt.
-func (b *Backoff) Reset() { b.attempt = 0 }
+// Elapsed returns the total delay handed out since the last Reset.
+func (b *Backoff) Elapsed() time.Duration { return b.elapsed }
+
+// Exhausted reports whether the MaxElapsed budget has been spent.
+// Always false when MaxElapsed is zero.
+func (b *Backoff) Exhausted() bool {
+	return b.MaxElapsed > 0 && b.elapsed >= b.MaxElapsed
+}
+
+// Reset restarts the schedule after a successful attempt: the next delay
+// is Base again and the MaxElapsed budget is refilled.
+func (b *Backoff) Reset() { b.attempt, b.elapsed = 0, 0 }

@@ -1,0 +1,66 @@
+package faults
+
+// Ring is a fixed-capacity ring buffer of fault Records. Long-running
+// resource managers and simulations log every crash and recovery; an
+// unbounded slice would grow forever under churn, so the ring keeps the
+// most recent records and counts the ones it evicted. Not safe for
+// concurrent use — callers serialize (the RM holds its mutex).
+type Ring struct {
+	buf     []Record
+	start   int
+	n       int
+	dropped uint64
+}
+
+// DefaultRingCap is the capacity used when NewRing is given a
+// non-positive one.
+const DefaultRingCap = 1024
+
+// NewRing returns a ring holding at most capacity records
+// (DefaultRingCap if capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCap
+	}
+	return &Ring{buf: make([]Record, capacity)}
+}
+
+// Append adds a record, evicting the oldest when full.
+func (r *Ring) Append(rec Record) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = rec
+		r.n++
+		return
+	}
+	r.buf[r.start] = rec
+	r.start = (r.start + 1) % len(r.buf)
+	r.dropped++
+}
+
+// Records returns the retained records, oldest first, as a fresh slice.
+func (r *Ring) Records() []Record {
+	out := make([]Record, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Len returns the number of retained records.
+func (r *Ring) Len() int { return r.n }
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Dropped returns how many records were evicted to make room.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Restore replaces the ring's contents (oldest first) and dropped
+// counter; records beyond capacity are evicted oldest-first. Used when
+// rebuilding resource-manager state from a journal snapshot.
+func (r *Ring) Restore(recs []Record, dropped uint64) {
+	r.start, r.n, r.dropped = 0, 0, dropped
+	for _, rec := range recs {
+		r.Append(rec)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"github.com/tetris-sched/tetris/internal/tokenbucket"
 	"github.com/tetris-sched/tetris/internal/tracker"
 	"github.com/tetris-sched/tetris/internal/wire"
+	"github.com/tetris-sched/tetris/internal/workload"
 )
 
 // Config parameterizes a node manager.
@@ -40,6 +42,10 @@ type Config struct {
 	// 0 means the default of 10; negative disables reconnection — the
 	// first link failure is fatal, the pre-fault-tolerance behavior.
 	MaxReconnects int
+	// ReconnectWindow additionally caps the total backoff delay spent on
+	// consecutive reconnect attempts (the faults.Backoff max-elapsed
+	// cutoff). Zero means no time cap — only MaxReconnects applies.
+	ReconnectWindow time.Duration
 	// Logger for diagnostics; nil discards.
 	Logger *log.Logger
 }
@@ -55,7 +61,7 @@ type Node struct {
 
 	mu        sync.Mutex
 	completed []wire.TaskCompletion
-	running   int
+	running   map[workload.TaskID]context.CancelFunc
 	launched  int
 }
 
@@ -70,7 +76,10 @@ func New(cfg Config) *Node {
 	if cfg.Logger == nil {
 		cfg.Logger = log.New(discard{}, "", 0)
 	}
-	n := &Node{cfg: cfg, log: cfg.Logger, tracker: tracker.New(cfg.Capacity), start: time.Now()}
+	n := &Node{
+		cfg: cfg, log: cfg.Logger, tracker: tracker.New(cfg.Capacity), start: time.Now(),
+		running: make(map[workload.TaskID]context.CancelFunc),
+	}
 	// Token buckets police compressed-time byte rates: capacity MB/s ×
 	// compression, bursts of one second's worth.
 	rRate := cfg.Capacity.Get(resources.DiskRead) * cfg.Compression
@@ -90,7 +99,7 @@ func (discard) Write(p []byte) (int, error) { return len(p), nil }
 func (n *Node) Running() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.running
+	return len(n.running)
 }
 
 // Launched returns the total number of tasks ever launched.
@@ -113,6 +122,7 @@ func (n *Node) Run(ctx context.Context) error {
 	// Seed the jitter per node so a mass reconnect after an RM restart
 	// doesn't stampede in lockstep.
 	bo := faults.NewBackoff(100*time.Millisecond, 5*time.Second, int64(n.cfg.NodeID)+1)
+	bo.MaxElapsed = n.cfg.ReconnectWindow
 	for {
 		registered, err := n.session(ctx)
 		if ctx.Err() != nil {
@@ -130,6 +140,10 @@ func (n *Node) Run(ctx context.Context) error {
 			return err
 		}
 		d := bo.Next()
+		if bo.Exhausted() {
+			return fmt.Errorf("nm %d: reconnect window (%v) exhausted: %w",
+				n.cfg.NodeID, n.cfg.ReconnectWindow, err)
+		}
 		n.log.Printf("nm %d: link lost (%v), reconnecting in %v", n.cfg.NodeID, err, d)
 		select {
 		case <-ctx.Done():
@@ -159,17 +173,47 @@ func (n *Node) session(ctx context.Context) (registered bool, err error) {
 	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
 	defer stop()
 
+	// Registration carries the node's truth for resync reconciliation:
+	// what is running right now, plus completions buffered while
+	// disconnected. Snapshotting both under one lock keeps them
+	// consistent (a task cannot be in neither set).
+	n.mu.Lock()
+	runningIDs := make([]workload.TaskID, 0, len(n.running))
+	for tid := range n.running {
+		runningIDs = append(runningIDs, tid)
+	}
+	done := n.completed
+	n.completed = nil
+	n.mu.Unlock()
+	sort.Slice(runningIDs, func(i, j int) bool {
+		a, b := runningIDs[i], runningIDs[j]
+		if a.Job != b.Job {
+			return a.Job < b.Job
+		}
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		return a.Index < b.Index
+	})
+
 	if err := wire.Write(conn, &wire.Message{Type: wire.TypeRegisterNM, RegisterNM: &wire.RegisterNM{
 		NodeID: n.cfg.NodeID, Capacity: n.cfg.Capacity,
+		Running: runningIDs, Completed: done,
 	}}); err != nil {
+		n.requeue(done)
 		return false, fmt.Errorf("nm %d: register: %w", n.cfg.NodeID, err)
 	}
 	reply, err := wire.Read(conn)
 	if err != nil {
+		n.requeue(done)
 		return false, fmt.Errorf("nm %d: register reply: %w", n.cfg.NodeID, err)
 	}
 	if reply.Type == wire.TypeError {
+		n.requeue(done)
 		return false, &fatalError{fmt.Errorf("nm %d: registration rejected: %s", n.cfg.NodeID, reply.Error)}
+	}
+	if reply.NMReply != nil {
+		n.handleKills(reply.NMReply.Kill)
 	}
 	n.log.Printf("nm %d: registered with %s", n.cfg.NodeID, n.cfg.RMAddr)
 
@@ -208,10 +252,33 @@ func (n *Node) session(ctx context.Context) (registered bool, err error) {
 			return true, fmt.Errorf("nm %d: rm error: %s", n.cfg.NodeID, reply.Error)
 		}
 		if reply.NMReply != nil {
+			n.handleKills(reply.NMReply.Kill)
 			for _, l := range reply.NMReply.Launch {
 				n.launch(ctx, l)
 			}
 		}
+	}
+}
+
+// handleKills stops tasks the RM declared orphaned during resync
+// reconciliation: their attempts were reclaimed (and possibly rerun
+// elsewhere) while this node was out of touch, so finishing them would
+// report a duplicate completion. The kill frees the tracker and emits
+// no completion.
+func (n *Node) handleKills(kill []workload.TaskID) {
+	for _, tid := range kill {
+		n.mu.Lock()
+		cancel, ok := n.running[tid]
+		if ok {
+			delete(n.running, tid)
+		}
+		n.mu.Unlock()
+		if !ok {
+			continue // already finished or never started here
+		}
+		cancel()
+		n.tracker.Finish(tid)
+		n.log.Printf("nm %d: killed orphaned task %v", n.cfg.NodeID, tid)
 	}
 }
 
@@ -237,11 +304,21 @@ func (n *Node) clock() float64 {
 // node's token buckets to enforce the allocated rates.
 func (n *Node) launch(ctx context.Context, l wire.TaskLaunch) {
 	n.tracker.Start(l.Task, l.Demand, n.clock())
+	taskCtx, cancel := context.WithCancel(ctx)
 	n.mu.Lock()
-	n.running++
+	if _, dup := n.running[l.Task]; dup {
+		// The RM re-sent a launch we already run (e.g. it was queued
+		// before a link blip and re-queued during resync); one copy is
+		// enough.
+		n.mu.Unlock()
+		cancel()
+		return
+	}
+	n.running[l.Task] = cancel
 	n.launched++
 	n.mu.Unlock()
 	go func() {
+		ctx := taskCtx
 		t0 := time.Now()
 		wall := time.Duration(l.Duration / n.cfg.Compression * float64(time.Second))
 		n.tracker.Observe(l.Task, l.Demand)
@@ -272,14 +349,22 @@ func (n *Node) launch(ctx context.Context, l wire.TaskLaunch) {
 			case <-time.After(wall / time.Duration(chunks)):
 			}
 		}
-		n.tracker.Finish(l.Task)
+		// Claim the completion under the lock: a concurrent kill that
+		// already removed the task owns its cleanup, and a killed task
+		// must not report a (duplicate) completion.
 		n.mu.Lock()
-		n.running--
-		n.completed = append(n.completed, wire.TaskCompletion{
-			Task:     l.Task,
-			Usage:    l.Demand,
-			Duration: time.Since(t0).Seconds() * n.cfg.Compression,
-		})
+		_, alive := n.running[l.Task]
+		if alive {
+			delete(n.running, l.Task)
+			n.completed = append(n.completed, wire.TaskCompletion{
+				Task:     l.Task,
+				Usage:    l.Demand,
+				Duration: time.Since(t0).Seconds() * n.cfg.Compression,
+			})
+		}
 		n.mu.Unlock()
+		if alive {
+			n.tracker.Finish(l.Task)
+		}
 	}()
 }

@@ -4,6 +4,11 @@
 // scheduling policy during NM heartbeat processing (as YARN's RM does —
 // the Table 7 overhead measurement), maintains allocation ledgers, and
 // feeds completed-task measurements to the demand estimator.
+//
+// With Config.JournalDir set the RM is durable: every state transition
+// is journaled to a write-ahead log (internal/journal) off the
+// scheduling hot path, and a restarted RM replays snapshot+log, then
+// reconciles with re-registering node managers (see resync.go).
 package rm
 
 import (
@@ -16,6 +21,7 @@ import (
 
 	"github.com/tetris-sched/tetris/internal/estimator"
 	"github.com/tetris-sched/tetris/internal/faults"
+	"github.com/tetris-sched/tetris/internal/journal"
 	"github.com/tetris-sched/tetris/internal/resources"
 	"github.com/tetris-sched/tetris/internal/scheduler"
 	"github.com/tetris-sched/tetris/internal/stats"
@@ -37,7 +43,22 @@ type Config struct {
 	// MaxTaskAttempts caps failed executions per task; when a task dies
 	// that many times (its nodes kept crashing), its whole job is
 	// abandoned and reported failed to the AM. Zero means unlimited.
+	// Keep it stable across restarts: journal replay re-derives job
+	// abandonment from it.
 	MaxTaskAttempts int
+	// JournalDir enables write-ahead journaling and crash recovery:
+	// state transitions are logged there and replayed on restart. Empty
+	// disables durability (the pre-journal in-memory behavior).
+	JournalDir string
+	// JournalSync is the journal's fsync policy (default
+	// journal.SyncInterval).
+	JournalSync journal.SyncPolicy
+	// SnapshotEvery is the number of journaled records between snapshot
+	// checkpoints (log truncation points). Default 4096.
+	SnapshotEvery int
+	// FaultLogCap bounds the in-memory crash/recovery log (a ring
+	// buffer; evictions are counted). Default faults.DefaultRingCap.
+	FaultLogCap int
 	// Logger for diagnostics; nil discards.
 	Logger *log.Logger
 }
@@ -56,9 +77,20 @@ type Server struct {
 	pending   map[int][]wire.TaskLaunch // queued launches per node
 	detector  *faults.Detector          // nil when failure detection is off
 	downSince map[int]float64
-	faultLog  []faults.Record
+	faultLog  *faults.Ring
+	epochs    map[int]int // per-machine death epoch; see remoteCharge
+	resync    map[int]bool
 	nmTimes   stats.Online
 	amTimes   stats.Online
+
+	jnl             *journal.Journal // nil when journaling is off
+	replaying       bool             // suppress journal writes during replay
+	lastEventTime   float64          // clock of the newest journaled event
+	sinceSnap       int              // journaled records since the last checkpoint
+	recoveredDigest []byte           // state digest right after replay, pre-resync
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -75,35 +107,67 @@ type jobInfo struct {
 type launchRecord struct {
 	machine int
 	local   resources.Vector
-	remote  []scheduler.RemoteCharge
+	remote  []remoteCharge
+}
+
+// remoteCharge is a scheduler.RemoteCharge stamped with the target
+// machine's death epoch at launch time. A machine's epoch increments
+// every time it is declared dead (its ledger is zeroed then), so a
+// charge is only subtracted back if the machine has not died since it
+// was added — otherwise a stale subtraction would silently eat charges
+// accrued after the machine rejoined.
+type remoteCharge struct {
+	machine int
+	charge  resources.Vector
+	epoch   int
 }
 
 // New creates a resource manager listening on addr ("host:port"; use
-// "127.0.0.1:0" for an ephemeral port).
+// "127.0.0.1:0" for an ephemeral port). With Config.JournalDir set, any
+// existing journal there is replayed before the server starts serving:
+// recovered machines await resync (see resync.go) and recovered jobs
+// resume where the journal left them.
 func New(addr string, cfg Config) (*Server, error) {
 	if cfg.Scheduler == nil {
 		return nil, fmt.Errorf("rm: scheduler is required")
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("rm: listen: %w", err)
-	}
 	s := &Server{
 		cfg:      cfg,
-		ln:       ln,
 		log:      cfg.Logger,
 		start:    time.Now(),
 		machines: make(map[int]*scheduler.MachineState),
 		jobs:     make(map[int]*jobInfo),
 		pending:  make(map[int][]wire.TaskLaunch),
+		faultLog: faults.NewRing(cfg.FaultLogCap),
+		epochs:   make(map[int]int),
+		resync:   make(map[int]bool),
+		conns:    make(map[net.Conn]struct{}),
 		closed:   make(chan struct{}),
 	}
 	if s.log == nil {
 		s.log = log.New(discard{}, "", 0)
 	}
+	if s.cfg.SnapshotEvery <= 0 {
+		s.cfg.SnapshotEvery = 4096
+	}
 	if cfg.NodeTimeout > 0 {
 		s.detector = faults.NewDetector(cfg.NodeTimeout.Seconds())
 		s.downSince = make(map[int]float64)
+	}
+	if cfg.JournalDir != "" {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		if s.jnl != nil {
+			s.jnl.Close()
+		}
+		return nil, fmt.Errorf("rm: listen: %w", err)
+	}
+	s.ln = ln
+	if s.detector != nil {
 		s.wg.Add(1)
 		go s.watchNodes(cfg.NodeTimeout / 4)
 	}
@@ -136,7 +200,11 @@ func (discard) Write(p []byte) (int, error) { return len(p), nil }
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down and waits for connection handlers.
+// Close shuts the server down — severing live NM/AM connections as a
+// real crash would — waits for connection handlers, and flushes the
+// journal (if any). A Close is indistinguishable from a crash to the
+// next incarnation: no final checkpoint is written, so restart always
+// exercises the replay path.
 func (s *Server) Close() error {
 	select {
 	case <-s.closed:
@@ -144,11 +212,23 @@ func (s *Server) Close() error {
 		close(s.closed)
 	}
 	err := s.ln.Close()
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
 	s.wg.Wait()
+	if s.jnl != nil {
+		if jerr := s.jnl.Close(); err == nil {
+			err = jerr
+		}
+	}
 	return err
 }
 
-// now returns seconds since the server started.
+// now returns seconds since the server started (continued across
+// restarts when journaling: recovery re-bases the epoch so the clock
+// never runs backwards relative to journaled times).
 func (s *Server) now() float64 { return time.Since(s.start).Seconds() }
 
 func (s *Server) accept() {
@@ -172,6 +252,14 @@ func (s *Server) accept() {
 func (s *Server) serve(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
+	s.connMu.Lock()
+	s.conns[conn] = struct{}{}
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+	}()
 	for {
 		m, err := wire.Read(conn)
 		if err != nil {
@@ -204,43 +292,39 @@ func (s *Server) handleRegisterNM(r *wire.RegisterNM) *wire.Message {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if m, ok := s.machines[r.NodeID]; ok {
-		m.Capacity = r.Capacity
-		if m.Down {
-			// A dead node re-registering is a fresh NM: its tasks were
-			// already reclaimed, so it rejoins with an empty ledger.
-			m.Allocated = resources.Vector{}
-			m.Reported = resources.Vector{}
-			s.rejoin(r.NodeID)
-		}
-	} else {
-		s.machines[r.NodeID] = &scheduler.MachineState{ID: r.NodeID, Capacity: r.Capacity}
-		s.recomputeTotal()
-	}
+	now := s.now()
+	s.journal(&event{Kind: evRegister, Time: now, Node: r.NodeID,
+		Capacity: r.Capacity, Running: r.Running, Completed: r.Completed})
+	kill := s.applyRegister(r, now)
 	if s.detector != nil {
-		s.detector.Beat(r.NodeID, s.now())
+		s.detector.Beat(r.NodeID, now)
 	}
-	s.log.Printf("rm: node %d registered (%v)", r.NodeID, r.Capacity)
-	return &wire.Message{Type: wire.TypeNMReply, NMReply: &wire.NMReply{}}
+	s.log.Printf("rm: node %d registered (%v), %d running reported, %d orphans killed",
+		r.NodeID, r.Capacity, len(r.Running), len(kill))
+	return &wire.Message{Type: wire.TypeNMReply, NMReply: &wire.NMReply{Kill: kill}}
 }
 
 // rejoin returns a presumed-dead node to service. Caller holds s.mu.
-func (s *Server) rejoin(id int) {
+func (s *Server) rejoin(id int, now float64) {
 	s.machines[id].Down = false
-	now := s.now()
 	rec := faults.Record{Time: now, Kind: faults.MachineRecover, Machine: id}
 	if since, ok := s.downSince[id]; ok {
 		rec.Downtime = now - since
 		delete(s.downSince, id)
 	}
-	s.faultLog = append(s.faultLog, rec)
+	s.faultLog.Append(rec)
 	s.log.Printf("rm: node %d rejoined after %.2fs down", id, rec.Downtime)
 }
 
 func (s *Server) recomputeTotal() {
 	var total resources.Vector
-	for _, m := range s.machines {
-		total = total.Add(m.Capacity)
+	ids := make([]int, 0, len(s.machines))
+	for id := range s.machines {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		total = total.Add(s.machines[id].Capacity)
 	}
 	s.total = total
 }
@@ -254,18 +338,32 @@ func (s *Server) handleSubmitJob(r *wire.SubmitJob) *wire.Message {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.jobs[r.Job.ID]; ok {
-		return errMsg(fmt.Sprintf("job %d already submitted", r.Job.ID))
+	if ji, ok := s.jobs[r.Job.ID]; ok {
+		// Idempotent resubmission: a job manager that lost its RM link
+		// re-submits on reconnect. The same definition is deduplicated
+		// (reply with current progress, as if it were a poll); a
+		// different job under the same ID is a real conflict.
+		if sameJob(ji.state.Job, r.Job) {
+			return s.amReplyLocked(r.Job.ID, ji)
+		}
+		return errMsg(fmt.Sprintf("job %d already submitted with a different definition", r.Job.ID))
 	}
 	if r.Job.Weight <= 0 {
 		r.Job.Weight = 1
 	}
-	s.jobs[r.Job.ID] = &jobInfo{
-		state:    &scheduler.JobState{Job: r.Job, Status: workload.NewStatus(r.Job)},
-		launched: make(map[workload.TaskID]launchRecord),
-	}
+	s.journal(&event{Kind: evSubmit, Time: s.now(), Job: r.Job})
+	s.applySubmit(r.Job)
 	s.log.Printf("rm: job %d submitted (%d tasks)", r.Job.ID, r.Job.NumTasks())
 	return &wire.Message{Type: wire.TypeAMReply, AMReply: &wire.AMReply{JobID: r.Job.ID, Total: r.Job.NumTasks()}}
+}
+
+// applySubmit registers a validated, weight-normalized job. Shared by
+// the live path and journal replay; caller holds s.mu.
+func (s *Server) applySubmit(j *workload.Job) {
+	s.jobs[j.ID] = &jobInfo{
+		state:    &scheduler.JobState{Job: j, Status: workload.NewStatus(j)},
+		launched: make(map[workload.TaskID]launchRecord),
+	}
 }
 
 // HandleNMHeartbeat processes one node heartbeat: absorbs the usage
@@ -286,6 +384,12 @@ func (s *Server) HandleNMHeartbeat(hb *wire.NMHeartbeat) *wire.Message {
 	if !ok {
 		return errMsg(fmt.Sprintf("unregistered node %d", hb.NodeID))
 	}
+	if s.resync[hb.NodeID] {
+		// The RM restarted since this node last registered; its ledger
+		// entries await reconciliation, which only a registration (with
+		// the node's running set) can provide.
+		return errMsg(fmt.Sprintf("node %d must re-register: resource manager restarted", hb.NodeID))
+	}
 	now := s.now()
 	if s.detector != nil {
 		s.detector.Beat(hb.NodeID, now)
@@ -293,42 +397,54 @@ func (s *Server) HandleNMHeartbeat(hb *wire.NMHeartbeat) *wire.Message {
 			// The node was presumed dead but is merely slow; take it back.
 			// Its old tasks were reclaimed (and may rerun elsewhere), so it
 			// rejoins with a clean ledger.
-			m.Allocated = resources.Vector{}
-			s.rejoin(hb.NodeID)
+			s.journal(&event{Kind: evRejoin, Time: now, Node: hb.NodeID})
+			s.applyRejoin(hb.NodeID, now)
 		}
 		s.checkFailures(now)
 	}
 	m.Reported = hb.Used
 	for _, c := range hb.Completed {
-		s.completeTask(c, hb.NodeID, now)
+		if s.applyComplete(c, hb.NodeID, now) {
+			s.journal(&event{Kind: evComplete, Time: now, Node: hb.NodeID,
+				Task: c.Task, Usage: c.Usage, Duration: c.Duration})
+		}
 	}
 	s.runScheduler()
+	s.maybeSnapshot()
 	launch := s.pending[hb.NodeID]
 	delete(s.pending, hb.NodeID)
 	return &wire.Message{Type: wire.TypeNMReply, NMReply: &wire.NMReply{Launch: launch}}
 }
 
-func (s *Server) completeTask(c wire.TaskCompletion, nodeID int, now float64) {
+// applyRejoin takes a presumed-dead node back on a heartbeat: its old
+// tasks were reclaimed, so it returns with a clean ledger. Shared by
+// the live path and journal replay; caller holds s.mu.
+func (s *Server) applyRejoin(id int, now float64) {
+	m := s.machines[id]
+	m.Allocated = resources.Vector{}
+	s.rejoin(id, now)
+}
+
+// applyComplete absorbs one task completion from a node, returning
+// whether it applied (an unknown or relocated attempt is ignored).
+// Shared by the live path and journal replay; caller holds s.mu.
+func (s *Server) applyComplete(c wire.TaskCompletion, nodeID int, now float64) bool {
 	ji, ok := s.jobs[c.Task.Job]
 	if !ok || ji.failed {
-		return
+		return false
 	}
 	rec, ok := ji.launched[c.Task]
 	if !ok || rec.machine != nodeID {
 		// No live launch on this node: the node was presumed dead and its
 		// attempt re-queued (possibly rerunning elsewhere already).
-		return
+		return false
 	}
 	delete(ji.launched, c.Task)
 	ji.state.Alloc = ji.state.Alloc.Sub(rec.local).Max(resources.Vector{})
 	if m := s.machines[rec.machine]; m != nil {
 		m.Allocated = m.Allocated.Sub(rec.local).Max(resources.Vector{})
 	}
-	for _, rc := range rec.remote {
-		if m := s.machines[rc.Machine]; m != nil {
-			m.Allocated = m.Allocated.Sub(rc.Charge).Max(resources.Vector{})
-		}
-	}
+	s.subRemote(rec.remote)
 	ji.state.Status.MarkDone(c.Task, now)
 	if s.cfg.Estimator != nil {
 		s.cfg.Estimator.Observe(ji.state.Job, c.Task.Stage, c.Usage, c.Duration)
@@ -337,6 +453,21 @@ func (s *Server) completeTask(c wire.TaskCompletion, nodeID int, now float64) {
 		ji.finished = true
 		ji.finishedAt = now
 		s.log.Printf("rm: job %d finished at %.2fs", c.Task.Job, now)
+	}
+	return true
+}
+
+// subRemote subtracts a launch's remote charges from their source
+// machines, skipping charges whose target died (and was zeroed) since
+// the launch. Caller holds s.mu.
+func (s *Server) subRemote(remote []remoteCharge) {
+	for _, rc := range remote {
+		if rc.epoch != s.epochs[rc.machine] {
+			continue // the machine died since; this charge is already gone
+		}
+		if m := s.machines[rc.machine]; m != nil {
+			m.Allocated = m.Allocated.Sub(rc.charge).Max(resources.Vector{})
+		}
 	}
 }
 
@@ -366,32 +497,37 @@ func (s *Server) checkFailures(now float64) {
 // holds s.mu.
 func (s *Server) markDead(id int, now float64) {
 	m, ok := s.machines[id]
-	if !ok || m.Down {
+	if !ok || (m.Down && !s.resync[id]) {
 		return
 	}
+	s.journal(&event{Kind: evDead, Time: now, Node: id})
+	s.applyDead(id, now)
+}
+
+// applyDead is markDead's mutation body, shared with journal replay.
+// Caller holds s.mu.
+func (s *Server) applyDead(id int, now float64) {
+	m := s.machines[id]
+	delete(s.resync, id) // an awaited node that timed out is plain dead
 	m.Down = true
 	m.Allocated = resources.Vector{}
 	m.Reported = resources.Vector{}
+	s.epochs[id]++ // invalidate remote charges targeting the zeroed ledger
 	if s.downSince != nil {
 		s.downSince[id] = now
 	}
 	delete(s.pending, id) // undelivered launches are reclaimed below
 	killed := 0
-	for jobID, ji := range s.jobs {
+	for _, jobID := range s.jobIDs() {
+		ji := s.jobs[jobID]
 		if ji.finished {
 			continue
 		}
-		for tid, rec := range ji.launched {
-			if rec.machine != id {
-				continue
-			}
+		for _, tid := range launchedIDs(ji, id) {
+			rec := ji.launched[tid]
 			delete(ji.launched, tid)
 			ji.state.Alloc = ji.state.Alloc.Sub(rec.local).Max(resources.Vector{})
-			for _, rc := range rec.remote {
-				if rm := s.machines[rc.Machine]; rm != nil && rc.Machine != id {
-					rm.Allocated = rm.Allocated.Sub(rc.Charge).Max(resources.Vector{})
-				}
-			}
+			s.subRemote(rec.remote)
 			ji.state.Status.MarkFailed(tid)
 			killed++
 			if cap := s.cfg.MaxTaskAttempts; cap > 0 && ji.state.Status.Attempts(tid) >= cap {
@@ -399,10 +535,42 @@ func (s *Server) markDead(id int, now float64) {
 			}
 		}
 	}
-	s.faultLog = append(s.faultLog, faults.Record{
+	s.faultLog.Append(faults.Record{
 		Time: now, Kind: faults.MachineCrash, Machine: id, TasksKilled: killed,
 	})
 	s.log.Printf("rm: node %d declared dead, %d tasks reclaimed", id, killed)
+}
+
+// jobIDs returns the job IDs in ascending order. Mutation paths iterate
+// jobs in this order so that live execution and journal replay perform
+// identical sequences of floating-point ledger updates — the replay
+// equivalence check compares state byte for byte. Caller holds s.mu.
+func (s *Server) jobIDs() []int {
+	ids := make([]int, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// launchedIDs returns ji's launched task IDs on machine id (all
+// machines if id < 0), sorted, for the same determinism reason.
+func launchedIDs(ji *jobInfo, id int) []workload.TaskID {
+	var out []workload.TaskID
+	for tid, rec := range ji.launched {
+		if id < 0 || rec.machine == id {
+			out = append(out, tid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		return a.Index < b.Index
+	})
+	return out
 }
 
 // failJob abandons a job whose task kept dying: remaining ledger charges
@@ -412,16 +580,13 @@ func (s *Server) failJob(jobID int, ji *jobInfo, now float64) {
 	ji.failed = true
 	ji.finished = true
 	ji.finishedAt = now
-	for tid, rec := range ji.launched {
+	for _, tid := range launchedIDs(ji, -1) {
+		rec := ji.launched[tid]
 		delete(ji.launched, tid)
 		if m := s.machines[rec.machine]; m != nil {
 			m.Allocated = m.Allocated.Sub(rec.local).Max(resources.Vector{})
 		}
-		for _, rc := range rec.remote {
-			if m := s.machines[rc.Machine]; m != nil {
-				m.Allocated = m.Allocated.Sub(rc.Charge).Max(resources.Vector{})
-			}
-		}
+		s.subRemote(rec.remote)
 	}
 	ji.state.Alloc = resources.Vector{}
 	for node, q := range s.pending {
@@ -442,8 +607,9 @@ func (s *Server) runScheduler() {
 	if len(s.machines) == 0 {
 		return
 	}
+	now := s.now()
 	v := &scheduler.View{
-		Time:  s.now(),
+		Time:  now,
 		Total: s.total,
 	}
 	// Deterministic machine order.
@@ -480,14 +646,9 @@ func (s *Server) runScheduler() {
 		}
 	}
 	for _, a := range s.cfg.Scheduler.Schedule(v) {
-		ji := s.jobs[a.JobID]
-		ji.state.Status.MarkRunning(a.Task.ID)
-		ji.state.Alloc = ji.state.Alloc.Add(a.Local)
-		s.machines[a.Machine].Allocated = s.machines[a.Machine].Allocated.Add(a.Local)
-		for _, rc := range a.Remote {
-			s.machines[rc.Machine].Allocated = s.machines[rc.Machine].Allocated.Add(rc.Charge)
-		}
-		ji.launched[a.Task.ID] = launchRecord{machine: a.Machine, local: a.Local, remote: a.Remote}
+		s.journal(&event{Kind: evLaunch, Time: now, Task: a.Task.ID,
+			Machine: a.Machine, Local: a.Local, Remote: a.Remote})
+		s.applyLaunch(a.Task.ID, a.Machine, a.Local, a.Remote)
 		s.pending[a.Machine] = append(s.pending[a.Machine], wire.TaskLaunch{
 			Task:     a.Task.ID,
 			JobID:    a.JobID,
@@ -497,6 +658,25 @@ func (s *Server) runScheduler() {
 			WriteMB:  a.Task.Work.WriteMB,
 		})
 	}
+}
+
+// applyLaunch charges one placement decision to the ledgers. Shared by
+// the live path and journal replay (which restores ledgers but not the
+// per-node delivery queues: undelivered launches surface as lost during
+// resync and are re-queued). Caller holds s.mu.
+func (s *Server) applyLaunch(tid workload.TaskID, machine int, local resources.Vector, remote []scheduler.RemoteCharge) {
+	ji := s.jobs[tid.Job]
+	ji.state.Status.MarkRunning(tid)
+	ji.state.Alloc = ji.state.Alloc.Add(local)
+	s.machines[machine].Allocated = s.machines[machine].Allocated.Add(local)
+	rec := launchRecord{machine: machine, local: local}
+	for _, rc := range remote {
+		s.machines[rc.Machine].Allocated = s.machines[rc.Machine].Allocated.Add(rc.Charge)
+		rec.remote = append(rec.remote, remoteCharge{
+			machine: rc.Machine, charge: rc.Charge, epoch: s.epochs[rc.Machine],
+		})
+	}
+	ji.launched[tid] = rec
 }
 
 func (s *Server) largestMachine() resources.Vector {
@@ -532,8 +712,13 @@ func (s *Server) HandleAMHeartbeat(hb *wire.AMHeartbeat) *wire.Message {
 	if !ok {
 		return errMsg(fmt.Sprintf("unknown job %d", hb.JobID))
 	}
+	return s.amReplyLocked(hb.JobID, ji)
+}
+
+// amReplyLocked builds the progress reply for one job. Caller holds s.mu.
+func (s *Server) amReplyLocked(jobID int, ji *jobInfo) *wire.Message {
 	return &wire.Message{Type: wire.TypeAMReply, AMReply: &wire.AMReply{
-		JobID:      hb.JobID,
+		JobID:      jobID,
 		Done:       ji.state.Status.DoneTasks(),
 		Total:      ji.state.Job.NumTasks(),
 		Finished:   ji.finished,
@@ -565,15 +750,25 @@ func (s *Server) ClusterStatus() wire.ClusterStatusReply {
 			st.Live = append(st.Live, id)
 		}
 	}
-	st.Faults = append(st.Faults, s.faultLog...)
+	st.Faults = s.faultLog.Records()
+	st.DroppedFaults = s.faultLog.Dropped()
 	return st
 }
 
-// FaultEvents returns a copy of the RM's crash/recovery log.
+// FaultEvents returns a copy of the RM's crash/recovery log (the most
+// recent Config.FaultLogCap records).
 func (s *Server) FaultEvents() []faults.Record {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]faults.Record(nil), s.faultLog...)
+	return s.faultLog.Records()
+}
+
+// DroppedFaultEvents returns how many fault records the bounded log has
+// evicted.
+func (s *Server) DroppedFaultEvents() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faultLog.Dropped()
 }
 
 // LiveNodes returns the number of registered nodes not currently
@@ -596,6 +791,21 @@ func (s *Server) HeartbeatStats() (nmMean, nmMax, amMean, amMax float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.nmTimes.Mean(), s.nmTimes.Max(), s.amTimes.Mean(), s.amTimes.Max()
+}
+
+// JournalStats reports journaling activity: records appended and
+// snapshots taken by this incarnation. It flushes the journal's queue
+// first so the counts reflect every transition journaled so far. ok is
+// false when journaling is disabled.
+func (s *Server) JournalStats() (appends, snapshots uint64, ok bool) {
+	if s.jnl == nil {
+		return 0, 0, false
+	}
+	if err := s.jnl.Sync(); err != nil {
+		s.log.Printf("rm: journal sync: %v", err)
+	}
+	a, sn, _ := s.jnl.Stats()
+	return a, sn, true
 }
 
 // RegisterMachine adds a machine directly (without a socket); used by

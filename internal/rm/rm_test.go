@@ -106,8 +106,14 @@ func TestDuplicateJobRejected(t *testing.T) {
 	if err := s.SubmitJob(simpleJob(1, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.SubmitJob(simpleJob(1, 1)); err == nil {
-		t.Error("duplicate job accepted")
+	// Re-submitting the identical definition is idempotent (a reconnecting
+	// AM must be able to retry safely)...
+	if err := s.SubmitJob(simpleJob(1, 1)); err != nil {
+		t.Errorf("idempotent resubmission rejected: %v", err)
+	}
+	// ...but a different job under the same ID is a real conflict.
+	if err := s.SubmitJob(simpleJob(1, 2)); err == nil {
+		t.Error("conflicting job definition accepted under reused ID")
 	}
 }
 

@@ -41,7 +41,7 @@ func (s *Sim) crashMachine(m int) {
 	for _, rt := range victims {
 		s.failTask(rt)
 	}
-	s.res.FaultEvents = append(s.res.FaultEvents, faults.Record{
+	s.faultRing.Append(faults.Record{
 		Time: s.clock, Kind: faults.MachineCrash, Machine: m, TasksKilled: len(victims),
 	})
 }
@@ -52,7 +52,7 @@ func (s *Sim) recoverMachine(m int) {
 		return
 	}
 	s.machines[m].Down = false
-	s.res.FaultEvents = append(s.res.FaultEvents, faults.Record{
+	s.faultRing.Append(faults.Record{
 		Time: s.clock, Kind: faults.MachineRecover, Machine: m,
 		Downtime: s.clock - s.crashedAt[m],
 	})

@@ -68,8 +68,13 @@ type Result struct {
 	FailedAttempts int
 	// FaultEvents is the chronological log of injected machine crashes
 	// and recoveries (Config.FaultPlan): per-event task kill counts and
-	// recovery latencies fall out of it.
+	// recovery latencies fall out of it. It holds the most recent
+	// Config.FaultLogCap records; older ones are evicted and counted in
+	// DroppedFaultEvents.
 	FaultEvents []faults.Record
+	// DroppedFaultEvents counts fault records evicted from the bounded
+	// log during the run.
+	DroppedFaultEvents uint64
 	// KilledJobs lists jobs abandoned after a task exhausted
 	// Config.MaxTaskAttempts, in kill order.
 	KilledJobs []int

@@ -83,6 +83,10 @@ type Config struct {
 	// task failing this many times kills its job (recorded in
 	// Result.KilledJobs with JobResult.Failed). Zero means unlimited.
 	MaxTaskAttempts int
+	// FaultLogCap bounds the in-memory fault-event log (a ring buffer
+	// keeping the most recent records; evictions are counted in
+	// Result.DroppedFaultEvents). Default faults.DefaultRingCap.
+	FaultLogCap int
 	// TaskFailureProb is the probability that a task fails on completion
 	// and must re-execute from scratch (the paper's simulator replays
 	// the production traces' failure probabilities; §5.1). Failed
@@ -207,6 +211,7 @@ type Sim struct {
 	slow      []float64 // per-machine rate multiplier (1 = full speed)
 	crashedAt []float64 // crash time of currently-down machines
 	chaosRand *rand.Rand
+	faultRing *faults.Ring // bounded fault log; drained into res at finalize
 	res       *Result
 	// Scratch for schedule(): the view and its job list are rebuilt every
 	// round (the scheduler must not retain them) but reuse one backing
@@ -230,8 +235,9 @@ func New(cfg Config) (*Sim, error) {
 		return nil, fmt.Errorf("sim: workload references %d machines, cluster has %d", cfg.Workload.NumMachines, cfg.Cluster.Size())
 	}
 	s := &Sim{
-		cfg: cfg,
-		res: newResult(),
+		cfg:       cfg,
+		res:       newResult(),
+		faultRing: faults.NewRing(cfg.FaultLogCap),
 	}
 	if cfg.TaskFailureProb > 0 {
 		seed := cfg.FailureSeed
@@ -393,6 +399,8 @@ func (s *Sim) Run() (*Result, error) {
 		}
 	}
 	s.res.Makespan = s.lastDone
+	s.res.FaultEvents = s.faultRing.Records()
+	s.res.DroppedFaultEvents = s.faultRing.Dropped()
 	s.res.finalize()
 	return s.res, nil
 }

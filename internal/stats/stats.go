@@ -310,3 +310,23 @@ func (o *Online) CoV() float64 {
 	}
 	return o.Stdev() / o.mean
 }
+
+// OnlineState is the serializable state of an Online accumulator, used
+// when checkpointing estimator statistics into the RM journal.
+type OnlineState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// State exports the accumulator.
+func (o *Online) State() OnlineState {
+	return OnlineState{N: o.n, Mean: o.mean, M2: o.m2, Min: o.min, Max: o.max}
+}
+
+// SetState restores the accumulator to a previously exported state.
+func (o *Online) SetState(st OnlineState) {
+	o.n, o.mean, o.m2, o.min, o.max = st.N, st.Mean, st.M2, st.Min, st.Max
+}

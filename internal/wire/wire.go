@@ -51,10 +51,21 @@ type Message struct {
 	Error         string              `json:"error,omitempty"`
 }
 
-// RegisterNM announces a node manager and its machine capacity.
+// RegisterNM announces a node manager and its machine capacity. On
+// re-registration (link blip, RM restart) it additionally carries the
+// node's view of its own work — the resync reconciliation input: the
+// RM resolves Running/Completed against its journal-recovered ledger,
+// adopting tasks both sides agree on, killing orphans the ledger does
+// not know (via NMReply.Kill), and re-queueing launches the node never
+// received.
 type RegisterNM struct {
 	NodeID   int              `json:"nodeID"`
 	Capacity resources.Vector `json:"capacity"`
+	// Running lists the tasks currently executing on the node.
+	Running []workload.TaskID `json:"running,omitempty"`
+	// Completed reports completions buffered while disconnected, so
+	// reconciliation sees them before deciding what was lost.
+	Completed []TaskCompletion `json:"completed,omitempty"`
 }
 
 // TaskCompletion reports a finished task with its measured peak usage and
@@ -87,9 +98,15 @@ type TaskLaunch struct {
 	WriteMB float64 `json:"writeMB"`
 }
 
-// NMReply answers a heartbeat with tasks to launch.
+// NMReply answers a registration or heartbeat with tasks to launch and
+// orphaned tasks to kill.
 type NMReply struct {
 	Launch []TaskLaunch `json:"launch,omitempty"`
+	// Kill lists running tasks the RM's ledger does not recognize
+	// (resync reconciliation found them orphaned — e.g. their attempt
+	// was reclaimed and re-run elsewhere while the node was presumed
+	// dead). The node must stop them and report no completion.
+	Kill []workload.TaskID `json:"kill,omitempty"`
 }
 
 // SubmitJob registers a job (full DAG with declared demands) with the RM.
@@ -124,8 +141,11 @@ type ClusterStatusReply struct {
 	// Live and Dead list node IDs in ascending order.
 	Live []int `json:"live,omitempty"`
 	Dead []int `json:"dead,omitempty"`
-	// Faults is the RM's chronological crash/recovery log.
+	// Faults is the RM's chronological crash/recovery log (the most
+	// recent window — the RM bounds it with a ring buffer).
 	Faults []faults.Record `json:"faults,omitempty"`
+	// DroppedFaults counts fault records evicted from that ring.
+	DroppedFaults uint64 `json:"droppedFaults,omitempty"`
 }
 
 // Write frames and writes one message.

@@ -1,0 +1,71 @@
+package workload
+
+// StatusSnapshot is the serializable progress of one job: everything a
+// restarted resource manager needs to rebuild a Status exactly. Derived
+// bookkeeping (per-stage counts, pending cursors) is reconstructed on
+// restore rather than persisted.
+type StatusSnapshot struct {
+	// States holds one TaskState per task, indexed [stage][task].
+	States [][]TaskState `json:"states"`
+	// Attempts holds failed-execution counts; nil rows mean all zero.
+	Attempts [][]int `json:"attempts,omitempty"`
+	// FinishedAt is the completion time, valid when every task is Done.
+	FinishedAt float64 `json:"finishedAt,omitempty"`
+}
+
+// Snapshot captures the job's progress for journaling.
+func (s *Status) Snapshot() StatusSnapshot {
+	snap := StatusSnapshot{
+		States:     make([][]TaskState, len(s.state)),
+		FinishedAt: s.finishedAt,
+	}
+	for si, row := range s.state {
+		snap.States[si] = append([]TaskState(nil), row...)
+	}
+	for si, row := range s.attempts {
+		if row == nil {
+			continue
+		}
+		if snap.Attempts == nil {
+			snap.Attempts = make([][]int, len(s.attempts))
+		}
+		snap.Attempts[si] = append([]int(nil), row...)
+	}
+	return snap
+}
+
+// RestoreStatus rebuilds a Status for job j from a snapshot, recomputing
+// all derived bookkeeping. The snapshot must have been taken from a
+// Status of the same job shape; mismatched dimensions panic, as they
+// indicate a corrupt or foreign journal.
+func RestoreStatus(j *Job, snap StatusSnapshot) *Status {
+	s := NewStatus(j)
+	for si, row := range snap.States {
+		for ti, st := range row {
+			s.state[si][ti] = st
+			switch st {
+			case Running:
+				s.runCount[si]++
+			case Done:
+				s.doneCount[si]++
+				s.doneTasks++
+			}
+		}
+		// The pending cursor sits at the first pending task.
+		i := 0
+		for i < len(row) && row[i] != Pending {
+			i++
+		}
+		s.cursor[si] = i
+	}
+	for si, row := range snap.Attempts {
+		if row != nil {
+			s.attempts[si] = append([]int(nil), row...)
+		}
+	}
+	if s.doneTasks == j.NumTasks() && s.doneTasks > 0 {
+		s.finished = true
+		s.finishedAt = snap.FinishedAt
+	}
+	return s
+}

@@ -103,6 +103,23 @@ func (s *Status) MarkFailed(id TaskID) {
 	}
 }
 
+// Requeue returns a running task to the pending state without counting
+// a failed attempt: its launch record was recovered from a restarted
+// resource manager's journal but the launch never reached a node (or
+// died with one), so no execution was actually wasted. Charging an
+// attempt here would let repeated RM restarts exhaust a task's attempt
+// cap without the task ever having run.
+func (s *Status) Requeue(id TaskID) {
+	if s.state[id.Stage][id.Index] != Running {
+		panic(fmt.Sprintf("task %v: Requeue from state %v", id, s.state[id.Stage][id.Index]))
+	}
+	s.state[id.Stage][id.Index] = Pending
+	s.runCount[id.Stage]--
+	if id.Index < s.cursor[id.Stage] {
+		s.cursor[id.Stage] = id.Index
+	}
+}
+
 // Attempts returns the number of failed executions of the identified
 // task so far; the executors' per-task attempt caps compare against it.
 func (s *Status) Attempts(id TaskID) int {
