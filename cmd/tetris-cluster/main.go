@@ -23,6 +23,8 @@ import (
 	"github.com/tetris-sched/tetris/internal/journal"
 	"github.com/tetris-sched/tetris/internal/nm"
 	"github.com/tetris-sched/tetris/internal/rm"
+	"github.com/tetris-sched/tetris/internal/scheduler"
+	"github.com/tetris-sched/tetris/internal/telemetry"
 )
 
 func main() {
@@ -41,6 +43,8 @@ func main() {
 		journalDir = flag.String("journal-dir", "", "RM write-ahead journal directory (empty = no durability); a restarted RM pointed at the same directory recovers its state")
 		fsyncMode  = flag.String("fsync", "interval", "journal fsync policy: interval, always, or never")
 		snapEvery  = flag.Int("snapshot-every", 0, "journal records between snapshot checkpoints (0 = default)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, JSON /debug/status and /debug/trace, and pprof on this address (empty = off)")
 	)
 	flag.Parse()
 	syncPolicy, err := journal.ParsePolicy(*fsyncMode)
@@ -58,14 +62,21 @@ func main() {
 	if *verbose {
 		logger = log.New(os.Stderr, "", log.Lmicroseconds)
 	}
+	// One registry aggregates RM, NM and AM series; the scheduler's
+	// decision traces land in a bounded ring served at /debug/trace.
+	reg := telemetry.NewRegistry()
+	ring := scheduler.NewDecisionRing(256, 1)
+	schedCfg := tetris.DefaultConfig()
+	schedCfg.Trace = ring
 	srv, err := rm.New("127.0.0.1:0", rm.Config{
-		Scheduler:     tetris.NewScheduler(tetris.DefaultConfig()),
+		Scheduler:     tetris.NewScheduler(schedCfg),
 		Estimator:     tetris.NewEstimator(),
 		Logger:        logger,
 		NodeTimeout:   *nodeTimeout,
 		JournalDir:    *journalDir,
 		JournalSync:   syncPolicy,
 		SnapshotEvery: *snapEvery,
+		Metrics:       reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -74,6 +85,18 @@ func main() {
 	fmt.Printf("resource manager listening on %s\n", srv.Addr())
 	if *journalDir != "" {
 		fmt.Printf("journaling to %s (fsync=%s)\n", *journalDir, *fsyncMode)
+	}
+	if *metricsAddr != "" {
+		ts := &telemetry.Server{
+			Registry: reg,
+			Status:   func() (any, error) { return srv.ClusterStatus(), nil },
+			Trace:    func() any { return ring.Snapshot() },
+		}
+		if err := ts.Start(*metricsAddr); err != nil {
+			log.Fatalf("-metrics-addr: %v", err)
+		}
+		defer ts.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", ts.Addr())
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -88,6 +111,7 @@ func main() {
 			RMAddr:      srv.Addr(),
 			Compression: *compression,
 			Logger:      logger,
+			Metrics:     reg,
 		})
 		nmWG.Add(1)
 		go func() {
@@ -152,7 +176,7 @@ func main() {
 		amWG.Add(1)
 		go func() {
 			defer amWG.Done()
-			res, err := am.Run(ctx, am.Config{RMAddr: srv.Addr(), Job: j})
+			res, err := am.Run(ctx, am.Config{RMAddr: srv.Addr(), Job: j, Metrics: reg})
 			if err != nil {
 				if ctx.Err() == nil {
 					log.Printf("job %d: %v", j.ID, err)

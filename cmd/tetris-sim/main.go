@@ -17,6 +17,7 @@ import (
 	tetris "github.com/tetris-sched/tetris"
 	"github.com/tetris-sched/tetris/internal/scheduler"
 	"github.com/tetris-sched/tetris/internal/stats"
+	"github.com/tetris-sched/tetris/internal/telemetry"
 )
 
 func main() {
@@ -42,8 +43,32 @@ func main() {
 		stragglers = flag.Float64("stragglers", 0, "per-attempt straggler probability")
 		stragFact  = flag.Float64("straggler-factor", 0.5, "straggler speed factor (fraction of full speed)")
 		maxAttempt = flag.Int("max-attempts", 0, "per-task attempt cap; the job is abandoned past it (0 = unlimited)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/trace and pprof on this address during the run (empty = off)")
+		sampleEvery = flag.Float64("sample-every", 0, "utilization sampling period in simulated seconds (0 = 10 when -metrics-addr is set, else off)")
 	)
 	flag.Parse()
+
+	// Telemetry: one registry across all runs of this invocation (under
+	// -compare the baselines aggregate into the same series); decision
+	// traces from the tetris scheduler land in a bounded ring.
+	var (
+		reg  *telemetry.Registry
+		ring *scheduler.DecisionRing
+	)
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		ring = scheduler.NewDecisionRing(256, 16)
+		ts := &telemetry.Server{Registry: reg, Trace: func() any { return ring.Snapshot() }}
+		if err := ts.Start(*metricsAddr); err != nil {
+			log.Fatalf("-metrics-addr: %v", err)
+		}
+		defer ts.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", ts.Addr())
+		if *sampleEvery == 0 {
+			*sampleEvery = 10
+		}
+	}
 
 	wl := loadWorkload(*tracePath, *traceKind, *seed, *jobs, *machines, *span)
 	if wl.NumMachines > *machines {
@@ -65,6 +90,7 @@ func main() {
 			default:
 				log.Fatalf("unknown core %q (want incremental or reference)", *coreName)
 			}
+			cfg.Trace = ring
 			return tetris.NewScheduler(cfg)
 		case "slot-fair", "cs", "fair":
 			return tetris.NewSlotFairScheduler()
@@ -103,6 +129,8 @@ func main() {
 			TaskFailureProb: *failures,
 			FaultPlan:       plan,
 			MaxTaskAttempts: *maxAttempt,
+			SampleEvery:     *sampleEvery,
+			Metrics:         reg,
 		})
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/tetris-sched/tetris/internal/faults"
+	"github.com/tetris-sched/tetris/internal/telemetry"
 	"github.com/tetris-sched/tetris/internal/wire"
 	"github.com/tetris-sched/tetris/internal/workload"
 )
@@ -31,6 +32,32 @@ type Config struct {
 	// consecutive reconnect attempts (the faults.Backoff max-elapsed
 	// cutoff). Zero means no time cap — only MaxReconnects applies.
 	ReconnectWindow time.Duration
+	// Metrics receives the job manager's telemetry (poll RTTs, reconnect
+	// attempts, job outcomes); AMs sharing one registry aggregate. Nil
+	// records into a private registry, exposing nothing.
+	Metrics *telemetry.Registry
+}
+
+// amMetrics is the job manager's metric set.
+type amMetrics struct {
+	pollRTT    *telemetry.Histogram
+	reconnects *telemetry.Counter
+	submitted  *telemetry.Counter
+	finished   *telemetry.Counter
+	failed     *telemetry.Counter
+}
+
+func newAMMetrics(reg *telemetry.Registry) *amMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &amMetrics{
+		pollRTT:    reg.Histogram("tetris_am_poll_rtt_seconds", "AM progress-poll round-trip time to the RM."),
+		reconnects: reg.Counter("tetris_am_reconnects_total", "Reconnect attempts after a lost RM link."),
+		submitted:  reg.Counter("tetris_am_jobs_submitted_total", "Jobs submitted (first acceptance only, not resubmissions)."),
+		finished:   reg.Counter("tetris_am_jobs_finished_total", "Jobs observed finishing successfully."),
+		failed:     reg.Counter("tetris_am_jobs_failed_total", "Jobs observed failing (attempt cap exhausted)."),
+	}
 }
 
 // Result is the outcome of one job run.
@@ -91,6 +118,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if maxRetry == 0 {
 		maxRetry = 10
 	}
+	met := newAMMetrics(cfg.Metrics)
 	// The initial dial and submission fail fast: a job that cannot even
 	// be submitted should surface immediately.
 	conn, err := dialRM(ctx, cfg.RMAddr)
@@ -108,6 +136,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if reply.Type == wire.TypeError {
 		return nil, fmt.Errorf("am: rm rejected job: %s", reply.Error)
 	}
+	met.submitted.Inc()
 
 	bo := faults.NewBackoff(100*time.Millisecond, 5*time.Second, int64(cfg.Job.ID)+1)
 	bo.MaxElapsed = cfg.ReconnectWindow
@@ -119,6 +148,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			return nil, ctx.Err()
 		case <-ticker.C:
 		}
+		pollT0 := time.Now()
 		reply, err := conn.call(&wire.Message{Type: wire.TypeAMHeartbeat, AMHeartbeat: &wire.AMHeartbeat{JobID: cfg.Job.ID}})
 		if err != nil {
 			if ctx.Err() != nil {
@@ -128,7 +158,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				return nil, fmt.Errorf("am: poll: %w", err)
 			}
 			conn.close()
-			next, rerr := reconnect(ctx, cfg, bo, maxRetry, err)
+			next, rerr := reconnect(ctx, cfg, bo, maxRetry, met, err)
 			if rerr != nil {
 				return nil, rerr
 			}
@@ -136,13 +166,16 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			bo.Reset()
 			continue
 		}
+		met.pollRTT.Observe(time.Since(pollT0).Seconds())
 		if reply.Type == wire.TypeError {
 			return nil, fmt.Errorf("am: rm error: %s", reply.Error)
 		}
 		if r := reply.AMReply; r != nil && r.Finished {
 			if r.Failed {
+				met.failed.Inc()
 				return nil, fmt.Errorf("am: job %d failed: a task exhausted its attempt cap under node failures", cfg.Job.ID)
 			}
+			met.finished.Inc()
 			return &Result{JobID: cfg.Job.ID, FinishedAt: r.FinishedAt, Wall: time.Since(start)}, nil
 		}
 	}
@@ -155,12 +188,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 // progress. Returns the new connection, or an error once the retry
 // budget (attempt count or elapsed window) is spent, the context ends,
 // or the RM definitively rejects the resubmission.
-func reconnect(ctx context.Context, cfg Config, bo *faults.Backoff, maxRetry int, cause error) (*rmConn, error) {
+func reconnect(ctx context.Context, cfg Config, bo *faults.Backoff, maxRetry int, met *amMetrics, cause error) (*rmConn, error) {
 	lastErr := cause
 	for {
 		if bo.Attempts() >= maxRetry {
 			return nil, fmt.Errorf("am: rm unreachable after %d reconnect attempts: %w", bo.Attempts(), lastErr)
 		}
+		met.reconnects.Inc()
 		d := bo.Next()
 		if bo.Exhausted() {
 			return nil, fmt.Errorf("am: rm unreachable after %v of reconnect backoff: %w", bo.Elapsed(), lastErr)

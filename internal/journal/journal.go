@@ -84,6 +84,11 @@ type Options struct {
 	// Buffer is the append queue depth before Append blocks
 	// (default 1024).
 	Buffer int
+	// ObserveFsync, when non-nil, receives the duration in seconds of
+	// every log-file fsync — the owner's telemetry hook. Called from the
+	// writer goroutine; must be cheap and must not call back into the
+	// journal.
+	ObserveFsync func(seconds float64)
 }
 
 // Recovery is what Open found on disk from a previous incarnation.
@@ -364,8 +369,15 @@ func (j *Journal) flushLocked(sync bool) {
 		j.werr = err
 	}
 	if sync {
+		var t0 time.Time
+		if j.opts.ObserveFsync != nil {
+			t0 = time.Now()
+		}
 		if err := j.f.Sync(); err != nil && j.werr == nil {
 			j.werr = err
+		}
+		if j.opts.ObserveFsync != nil {
+			j.opts.ObserveFsync(time.Since(t0).Seconds())
 		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"github.com/tetris-sched/tetris/internal/faults"
 	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/telemetry"
 	"github.com/tetris-sched/tetris/internal/tokenbucket"
 	"github.com/tetris-sched/tetris/internal/tracker"
 	"github.com/tetris-sched/tetris/internal/wire"
@@ -46,8 +47,39 @@ type Config struct {
 	// consecutive reconnect attempts (the faults.Backoff max-elapsed
 	// cutoff). Zero means no time cap — only MaxReconnects applies.
 	ReconnectWindow time.Duration
+	// Metrics receives the node's telemetry (heartbeat RTTs, reconnect
+	// attempts, task lifecycle counters). Several NMs sharing one
+	// registry — the loopback cluster — aggregate into shared series.
+	// Nil records into a private registry, exposing nothing.
+	Metrics *telemetry.Registry
 	// Logger for diagnostics; nil discards.
 	Logger *log.Logger
+}
+
+// nmMetrics is the node manager's metric set.
+type nmMetrics struct {
+	hbRTT      *telemetry.Histogram
+	reconnects *telemetry.Counter
+	registered *telemetry.Counter
+	launched   *telemetry.Counter
+	completed  *telemetry.Counter
+	killed     *telemetry.Counter
+	running    *telemetry.Gauge
+}
+
+func newNMMetrics(reg *telemetry.Registry) *nmMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &nmMetrics{
+		hbRTT:      reg.Histogram("tetris_nm_heartbeat_rtt_seconds", "NM heartbeat round-trip time to the RM."),
+		reconnects: reg.Counter("tetris_nm_reconnects_total", "Reconnect attempts after a lost RM link."),
+		registered: reg.Counter("tetris_nm_registrations_total", "Successful RM registrations."),
+		launched:   reg.Counter("tetris_nm_tasks_launched_total", "Task attempts started on this process's nodes."),
+		completed:  reg.Counter("tetris_nm_tasks_completed_total", "Task attempts finished and reported."),
+		killed:     reg.Counter("tetris_nm_orphans_killed_total", "Orphaned attempts killed on RM instruction."),
+		running:    reg.Gauge("tetris_nm_tasks_running", "Task attempts currently executing."),
+	}
 }
 
 // Node is a running node manager.
@@ -63,6 +95,8 @@ type Node struct {
 	completed []wire.TaskCompletion
 	running   map[workload.TaskID]context.CancelFunc
 	launched  int
+
+	metrics *nmMetrics
 }
 
 // New creates a node manager (not yet running; call Run).
@@ -79,6 +113,7 @@ func New(cfg Config) *Node {
 	n := &Node{
 		cfg: cfg, log: cfg.Logger, tracker: tracker.New(cfg.Capacity), start: time.Now(),
 		running: make(map[workload.TaskID]context.CancelFunc),
+		metrics: newNMMetrics(cfg.Metrics),
 	}
 	// Token buckets police compressed-time byte rates: capacity MB/s ×
 	// compression, bursts of one second's worth.
@@ -144,6 +179,7 @@ func (n *Node) Run(ctx context.Context) error {
 			return fmt.Errorf("nm %d: reconnect window (%v) exhausted: %w",
 				n.cfg.NodeID, n.cfg.ReconnectWindow, err)
 		}
+		n.metrics.reconnects.Inc()
 		n.log.Printf("nm %d: link lost (%v), reconnecting in %v", n.cfg.NodeID, err, d)
 		select {
 		case <-ctx.Done():
@@ -215,6 +251,7 @@ func (n *Node) session(ctx context.Context) (registered bool, err error) {
 	if reply.NMReply != nil {
 		n.handleKills(reply.NMReply.Kill)
 	}
+	n.metrics.registered.Inc()
 	n.log.Printf("nm %d: registered with %s", n.cfg.NodeID, n.cfg.RMAddr)
 
 	ticker := time.NewTicker(n.cfg.Heartbeat)
@@ -237,6 +274,7 @@ func (n *Node) session(ctx context.Context) (registered bool, err error) {
 			Allocated: rep.Allocated,
 			Completed: done,
 		}
+		hbT0 := time.Now()
 		if err := wire.Write(conn, &wire.Message{Type: wire.TypeNMHeartbeat, NMHeartbeat: hb}); err != nil {
 			n.requeue(done)
 			return true, fmt.Errorf("nm %d: heartbeat: %w", n.cfg.NodeID, err)
@@ -246,6 +284,7 @@ func (n *Node) session(ctx context.Context) (registered bool, err error) {
 			n.requeue(done)
 			return true, fmt.Errorf("nm %d: heartbeat reply: %w", n.cfg.NodeID, err)
 		}
+		n.metrics.hbRTT.Observe(time.Since(hbT0).Seconds())
 		if reply.Type == wire.TypeError {
 			// E.g. "unregistered node" from an RM that restarted and lost
 			// state: reconnecting re-registers, so it is retryable.
@@ -278,6 +317,8 @@ func (n *Node) handleKills(kill []workload.TaskID) {
 		}
 		cancel()
 		n.tracker.Finish(tid)
+		n.metrics.killed.Inc()
+		n.metrics.running.Add(-1)
 		n.log.Printf("nm %d: killed orphaned task %v", n.cfg.NodeID, tid)
 	}
 }
@@ -317,6 +358,8 @@ func (n *Node) launch(ctx context.Context, l wire.TaskLaunch) {
 	n.running[l.Task] = cancel
 	n.launched++
 	n.mu.Unlock()
+	n.metrics.launched.Inc()
+	n.metrics.running.Add(1)
 	go func() {
 		ctx := taskCtx
 		t0 := time.Now()
@@ -365,6 +408,8 @@ func (n *Node) launch(ctx context.Context, l wire.TaskLaunch) {
 		n.mu.Unlock()
 		if alive {
 			n.tracker.Finish(l.Task)
+			n.metrics.completed.Inc()
+			n.metrics.running.Add(-1)
 		}
 	}()
 }

@@ -149,12 +149,17 @@ func (s *Server) applyEvent(ev *event) error {
 // and a fresh checkpoint compacts the log. Called from New, before any
 // goroutine starts.
 func (s *Server) recover() error {
-	jnl, rec, err := journal.Open(journal.Options{Dir: s.cfg.JournalDir, Sync: s.cfg.JournalSync})
+	jnl, rec, err := journal.Open(journal.Options{
+		Dir:          s.cfg.JournalDir,
+		Sync:         s.cfg.JournalSync,
+		ObserveFsync: s.metrics.journalFsync.Observe,
+	})
 	if err != nil {
 		return fmt.Errorf("rm: journal: %w", err)
 	}
 	s.jnl = jnl
 	s.replaying = true
+	replayT0 := time.Now()
 	if rec.Snapshot != nil {
 		if err := s.restoreState(rec.Snapshot); err != nil {
 			jnl.Close()
@@ -173,6 +178,8 @@ func (s *Server) recover() error {
 		}
 	}
 	s.replaying = false
+	s.metrics.replaySeconds.Set(time.Since(replayT0).Seconds())
+	s.metrics.replayRecords.Set(float64(len(rec.Records)))
 	if rec.TornBytes > 0 || rec.StaleRecords > 0 {
 		s.log.Printf("rm: journal recovery dropped %d torn tail bytes, skipped %d stale records",
 			rec.TornBytes, rec.StaleRecords)

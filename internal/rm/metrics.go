@@ -1,0 +1,109 @@
+package rm
+
+// RM telemetry: every durable state transition and every latency the
+// paper's Table 7 cares about is recorded into a telemetry.Registry.
+// Counters/histograms are resolved once at construction so the hot
+// paths touch only atomics; scrape-time gauges (node liveness, resync
+// backlog, fault-log drops) are GaugeFuncs that lock s.mu from the
+// scrape goroutine — the RM never touches the registry lock while
+// holding s.mu, so the ordering is acyclic.
+//
+// Counters are per-incarnation (like JournalStats): journal replay
+// re-applies historical transitions through the same apply* functions,
+// so every counting site is guarded by s.replaying to keep a restarted
+// RM from re-counting its past.
+
+import "github.com/tetris-sched/tetris/internal/telemetry"
+
+type rmMetrics struct {
+	placements    *telemetry.Counter
+	completions   *telemetry.Counter
+	jobsSubmitted *telemetry.Counter
+	jobsFinished  *telemetry.Counter
+	jobsFailed    *telemetry.Counter
+	deadNodes     *telemetry.Counter
+	reclaims      *telemetry.Counter
+	rejoins       *telemetry.Counter
+	orphansKilled *telemetry.Counter
+	lostRequeued  *telemetry.Counter
+
+	scheduleRound *telemetry.Histogram
+	nmHeartbeat   *telemetry.Histogram
+	amHeartbeat   *telemetry.Histogram
+	journalFsync  *telemetry.Histogram
+
+	replaySeconds *telemetry.Gauge
+	replayRecords *telemetry.Gauge
+}
+
+// newRMMetrics resolves the RM's metric set in reg. A nil reg gets a
+// private registry: recording still happens (hot paths stay branch-free)
+// but nothing is exposed.
+func newRMMetrics(reg *telemetry.Registry) *rmMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &rmMetrics{
+		placements:    reg.Counter("tetris_rm_placements_total", "Task placements decided by the scheduler."),
+		completions:   reg.Counter("tetris_rm_completions_total", "Task completions absorbed from node heartbeats."),
+		jobsSubmitted: reg.Counter("tetris_rm_jobs_submitted_total", "Jobs accepted from job managers."),
+		jobsFinished:  reg.Counter("tetris_rm_jobs_finished_total", "Jobs that completed every task."),
+		jobsFailed:    reg.Counter("tetris_rm_jobs_failed_total", "Jobs abandoned after a task exhausted its attempt cap."),
+		deadNodes:     reg.Counter("tetris_rm_dead_nodes_total", "Nodes declared dead by the failure detector."),
+		reclaims:      reg.Counter("tetris_rm_tasks_reclaimed_total", "Running tasks preempted back to pending by dead-node reclaim."),
+		rejoins:       reg.Counter("tetris_rm_node_rejoins_total", "Presumed-dead nodes that returned to service."),
+		orphansKilled: reg.Counter("tetris_rm_resync_orphans_killed_total", "Orphaned task attempts killed during resync reconciliation."),
+		lostRequeued:  reg.Counter("tetris_rm_resync_lost_requeued_total", "Lost launches released and re-queued during resync."),
+
+		scheduleRound: reg.Histogram("tetris_rm_schedule_round_seconds", "Wall time of one scheduling round (the Table 7 allocation cost)."),
+		nmHeartbeat:   reg.Histogram("tetris_rm_nm_heartbeat_seconds", "NM heartbeat processing time, scheduling included."),
+		amHeartbeat:   reg.Histogram("tetris_rm_am_heartbeat_seconds", "AM heartbeat processing time."),
+		journalFsync:  reg.Histogram("tetris_rm_journal_fsync_seconds", "Write-ahead journal fsync latency."),
+
+		replaySeconds: reg.Gauge("tetris_rm_journal_replay_seconds", "Wall time of the last journal recovery replay."),
+		replayRecords: reg.Gauge("tetris_rm_journal_replay_records", "Log records replayed by the last journal recovery."),
+	}
+}
+
+// registerGauges installs the scrape-time views over live server state.
+// Called from New before the server starts serving; fns run on the
+// scrape goroutine and take s.mu.
+func (s *Server) registerGauges(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("tetris_rm_nodes_total", "Registered node managers.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.machines))
+	})
+	reg.GaugeFunc("tetris_rm_nodes_live", "Registered nodes not presumed dead.", func() float64 {
+		return float64(s.LiveNodes())
+	})
+	reg.GaugeFunc("tetris_rm_jobs_running", "Submitted jobs not yet finished.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		n := 0
+		for _, ji := range s.jobs {
+			if !ji.finished {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("tetris_rm_tasks_running", "Task attempts currently charged to the ledger.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		n := 0
+		for _, ji := range s.jobs {
+			n += len(ji.launched)
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("tetris_rm_resync_pending", "Recovered machines still awaiting NM re-registration.", func() float64 {
+		return float64(s.ResyncPending())
+	})
+	reg.GaugeFunc("tetris_rm_fault_log_dropped", "Fault records evicted from the bounded fault ring.", func() float64 {
+		return float64(s.DroppedFaultEvents())
+	})
+}

@@ -119,6 +119,10 @@ func (s *Server) reconcile(id int, running []workload.TaskID) []workload.TaskID 
 			lost++
 		}
 	}
+	if !s.replaying {
+		s.metrics.orphansKilled.Add(uint64(len(kill)))
+		s.metrics.lostRequeued.Add(uint64(lost))
+	}
 	if len(kill) > 0 || lost > 0 {
 		s.log.Printf("rm: resync node %d: %d adopted, %d orphans killed, %d lost launches re-queued",
 			id, len(running)-len(kill), len(kill), lost)

@@ -25,6 +25,7 @@ import (
 	"github.com/tetris-sched/tetris/internal/resources"
 	"github.com/tetris-sched/tetris/internal/scheduler"
 	"github.com/tetris-sched/tetris/internal/stats"
+	"github.com/tetris-sched/tetris/internal/telemetry"
 	"github.com/tetris-sched/tetris/internal/wire"
 	"github.com/tetris-sched/tetris/internal/workload"
 )
@@ -59,6 +60,10 @@ type Config struct {
 	// FaultLogCap bounds the in-memory crash/recovery log (a ring
 	// buffer; evictions are counted). Default faults.DefaultRingCap.
 	FaultLogCap int
+	// Metrics receives the RM's telemetry (placements, heartbeat and
+	// fsync latencies, node liveness, ...; see metrics.go). Nil records
+	// into a private registry, exposing nothing.
+	Metrics *telemetry.Registry
 	// Logger for diagnostics; nil discards.
 	Logger *log.Logger
 }
@@ -82,6 +87,7 @@ type Server struct {
 	resync    map[int]bool
 	nmTimes   stats.Online
 	amTimes   stats.Online
+	metrics   *rmMetrics
 
 	jnl             *journal.Journal // nil when journaling is off
 	replaying       bool             // suppress journal writes during replay
@@ -147,6 +153,8 @@ func New(addr string, cfg Config) (*Server, error) {
 	if s.log == nil {
 		s.log = log.New(discard{}, "", 0)
 	}
+	s.metrics = newRMMetrics(cfg.Metrics)
+	s.registerGauges(cfg.Metrics)
 	if s.cfg.SnapshotEvery <= 0 {
 		s.cfg.SnapshotEvery = 4096
 	}
@@ -313,6 +321,9 @@ func (s *Server) rejoin(id int, now float64) {
 		delete(s.downSince, id)
 	}
 	s.faultLog.Append(rec)
+	if !s.replaying {
+		s.metrics.rejoins.Inc()
+	}
 	s.log.Printf("rm: node %d rejoined after %.2fs down", id, rec.Downtime)
 }
 
@@ -364,6 +375,9 @@ func (s *Server) applySubmit(j *workload.Job) {
 		state:    &scheduler.JobState{Job: j, Status: workload.NewStatus(j)},
 		launched: make(map[workload.TaskID]launchRecord),
 	}
+	if !s.replaying {
+		s.metrics.jobsSubmitted.Inc()
+	}
 }
 
 // HandleNMHeartbeat processes one node heartbeat: absorbs the usage
@@ -377,7 +391,9 @@ func (s *Server) HandleNMHeartbeat(hb *wire.NMHeartbeat) *wire.Message {
 	t0 := time.Now()
 	s.mu.Lock()
 	defer func() {
-		s.nmTimes.Add(time.Since(t0).Seconds())
+		dt := time.Since(t0).Seconds()
+		s.nmTimes.Add(dt)
+		s.metrics.nmHeartbeat.Observe(dt)
 		s.mu.Unlock()
 	}()
 	m, ok := s.machines[hb.NodeID]
@@ -449,9 +465,15 @@ func (s *Server) applyComplete(c wire.TaskCompletion, nodeID int, now float64) b
 	if s.cfg.Estimator != nil {
 		s.cfg.Estimator.Observe(ji.state.Job, c.Task.Stage, c.Usage, c.Duration)
 	}
+	if !s.replaying {
+		s.metrics.completions.Inc()
+	}
 	if ji.state.Status.Finished() {
 		ji.finished = true
 		ji.finishedAt = now
+		if !s.replaying {
+			s.metrics.jobsFinished.Inc()
+		}
 		s.log.Printf("rm: job %d finished at %.2fs", c.Task.Job, now)
 	}
 	return true
@@ -538,6 +560,10 @@ func (s *Server) applyDead(id int, now float64) {
 	s.faultLog.Append(faults.Record{
 		Time: now, Kind: faults.MachineCrash, Machine: id, TasksKilled: killed,
 	})
+	if !s.replaying {
+		s.metrics.deadNodes.Inc()
+		s.metrics.reclaims.Add(uint64(killed))
+	}
 	s.log.Printf("rm: node %d declared dead, %d tasks reclaimed", id, killed)
 }
 
@@ -598,6 +624,9 @@ func (s *Server) failJob(jobID int, ji *jobInfo, now float64) {
 		}
 		s.pending[node] = kept
 	}
+	if !s.replaying {
+		s.metrics.jobsFailed.Inc()
+	}
 	s.log.Printf("rm: job %d abandoned after repeated task failures", jobID)
 }
 
@@ -645,7 +674,11 @@ func (s *Server) runScheduler() {
 			return peak.Min(s.largestMachine()), dur
 		}
 	}
-	for _, a := range s.cfg.Scheduler.Schedule(v) {
+	t0 := time.Now()
+	asgs := s.cfg.Scheduler.Schedule(v)
+	s.metrics.scheduleRound.Observe(time.Since(t0).Seconds())
+	s.metrics.placements.Add(uint64(len(asgs)))
+	for _, a := range asgs {
 		s.journal(&event{Kind: evLaunch, Time: now, Task: a.Task.ID,
 			Machine: a.Machine, Local: a.Local, Remote: a.Remote})
 		s.applyLaunch(a.Task.ID, a.Machine, a.Local, a.Remote)
@@ -705,7 +738,9 @@ func (s *Server) HandleAMHeartbeat(hb *wire.AMHeartbeat) *wire.Message {
 	t0 := time.Now()
 	s.mu.Lock()
 	defer func() {
-		s.amTimes.Add(time.Since(t0).Seconds())
+		dt := time.Since(t0).Seconds()
+		s.amTimes.Add(dt)
+		s.metrics.amHeartbeat.Observe(dt)
 		s.mu.Unlock()
 	}()
 	ji, ok := s.jobs[hb.JobID]

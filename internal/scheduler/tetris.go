@@ -54,6 +54,11 @@ type TetrisConfig struct {
 	// differential equivalence suite (equivalence_test.go) and
 	// FuzzScheduleEquivalence enforce it.
 	Core Core
+	// Trace, when non-nil, collects sampled per-round decision traces
+	// (trace.go). Read-only observation: it never alters decisions. Only
+	// the incremental core emits traces; the reference core is kept
+	// instrumentation-free as the behavioural oracle.
+	Trace *DecisionRing
 }
 
 // Core selects between the two decision-identical Schedule

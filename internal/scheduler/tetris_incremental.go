@@ -167,6 +167,11 @@ type incrState struct {
 	consider func(*JobState, *workload.Task, bool)
 
 	ns NormScorer // non-nil when the configured scorer supports ScoreNorm
+
+	// rt is the decision trace of the round in flight; nil when tracing
+	// is off or the round is sampled out (the common case — every hook
+	// is then one nil check).
+	rt *RoundTrace
 }
 
 // beginRound advances the round stamp and lazily initializes the state.
@@ -304,6 +309,11 @@ func (t *Tetris) scheduleIncremental(v *View) []Assignment {
 	ic := &t.inc
 	ic.beginRound(t, v)
 
+	ic.rt = nil
+	if t.cfg.Trace != nil && t.cfg.Trace.sample() {
+		ic.rt = &RoundTrace{Round: ic.round, Time: v.Time, Machines: len(v.Machines)}
+	}
+
 	ic.runnable = ic.runnable[:0]
 	for _, j := range v.Jobs {
 		t.indexJob(j)
@@ -323,6 +333,13 @@ func (t *Tetris) scheduleIncremental(v *View) []Assignment {
 	clear(ic.eligible)
 	for _, j := range sorted[:eligibleCount] {
 		ic.eligible[j.Job.ID] = true
+	}
+	if rt := ic.rt; rt != nil {
+		rt.RunnableJobs = len(sorted)
+		rt.EligibleJobs = eligibleCount
+		for _, j := range sorted[eligibleCount:] {
+			rt.CutoffJobIDs = append(rt.CutoffJobIDs, j.Job.ID)
+		}
 	}
 
 	clear(ic.pScore)
@@ -379,7 +396,7 @@ func (t *Tetris) scheduleIncremental(v *View) []Assignment {
 		if t.reserved[m.ID] != nil {
 			continue // machine held for a starved task
 		}
-		for {
+		for fill := 0; ; fill++ {
 			cands, aSum := t.collectIncr(v, m.ID, rs)
 			if len(cands) == 0 {
 				break
@@ -406,6 +423,35 @@ func (t *Tetris) scheduleIncremental(v *View) []Assignment {
 				}
 			}
 			c := cands[best]
+			if ic.rt != nil {
+				ic.rt.Eps = eps
+				// Losers are recorded once per machine (the first fill
+				// comparison); later fills would re-record the same
+				// still-feasible candidates every placement.
+				if fill == 0 {
+					for i := range cands {
+						if i == best {
+							continue
+						}
+						sc := cands[i].align - eps*cands[i].p
+						if t.cfg.SRTFOnly {
+							sc = -cands[i].p
+						}
+						ic.trace(TaskDecision{
+							Task: cands[i].task.ID, Machine: m.ID,
+							Outcome: OutcomeOutscored,
+							Align:   cands[i].align, P: cands[i].p, Score: sc,
+							Remote: cands[i].remote != nil,
+						})
+					}
+				}
+				ic.trace(TaskDecision{
+					Task: c.task.ID, Machine: m.ID,
+					Outcome: OutcomePlaced,
+					Align:   c.align, P: c.p, Score: bestScore,
+					Remote: c.remote != nil,
+				})
+			}
 			out = append(out, Assignment{
 				JobID:   c.job.Job.ID,
 				Task:    c.task,
@@ -425,6 +471,11 @@ func (t *Tetris) scheduleIncremental(v *View) []Assignment {
 	}
 	if t.cfg.StarvationSec > 0 {
 		t.detectStarvation(v, rs)
+	}
+	if rt := ic.rt; rt != nil {
+		rt.Placed = len(out)
+		t.cfg.Trace.ring.Append(*rt)
+		ic.rt = nil
 	}
 	return out
 }
@@ -585,6 +636,9 @@ func (t *Tetris) considerTR(tr *taskRound, task *workload.Task, inTail bool) {
 	}
 	if !tr.d.FitsIn(ic.curAvail) {
 		tr.failLocal = true
+		// Traced at first detection only; the early-exit prune above
+		// keeps re-tests (and re-records) off later placements.
+		ic.trace(TaskDecision{Task: task.ID, Machine: mid, Outcome: OutcomeInfeasibleLocal})
 		return
 	}
 	if !t.cfg.CPUMemOnly && !t.cfg.DisableRemoteCharges && tr.remoteMB > 0 {
@@ -618,6 +672,7 @@ func (t *Tetris) considerTR(tr *taskRound, task *workload.Task, inTail bool) {
 					if !tr.affinity {
 						tr.baseRemoteDead = true
 					}
+					ic.trace(TaskDecision{Task: task.ID, Machine: mid, Outcome: OutcomeInfeasibleRemote})
 					return
 				}
 			}

@@ -1,0 +1,124 @@
+package scheduler
+
+import (
+	"sync/atomic"
+
+	"github.com/tetris-sched/tetris/internal/telemetry"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// Decision tracing answers "why was/wasn't this task placed" at the
+// granularity the paper reasons at: per scheduling round, per considered
+// (task, machine) pair — the feasibility verdict, the fairness-knob
+// cutoff the task's job fell on, the alignment and ε-combined score, and
+// the chosen machine. Traces are sampled (every Nth round) and bounded
+// (a telemetry.Ring of rounds, a per-round decision cap), so they are
+// safe to leave on in production the way the fault log is.
+//
+// Only the incremental core (the default) emits traces; the reference
+// core is a behavioural oracle kept free of instrumentation. When
+// tracing is configured but the round is sampled out, the hot path pays
+// a single nil check — TestTraceSampledOutAllocs pins that at zero
+// allocations so the benchgate holds.
+
+// Decision outcomes.
+const (
+	// OutcomePlaced: the task won the combined-score comparison and was
+	// assigned to Machine.
+	OutcomePlaced = "placed"
+	// OutcomeOutscored: the task was feasible on Machine but another
+	// candidate scored higher in the first fill comparison.
+	OutcomeOutscored = "outscored"
+	// OutcomeInfeasibleLocal: the task's placement demand did not fit
+	// Machine's free vector.
+	OutcomeInfeasibleLocal = "infeasible-local"
+	// OutcomeInfeasibleRemote: a remote-read charge did not fit at its
+	// source machine (§3.2 feasibility).
+	OutcomeInfeasibleRemote = "infeasible-remote"
+)
+
+// TaskDecision records one considered (task, machine) option.
+type TaskDecision struct {
+	Task    workload.TaskID `json:"task"`
+	Machine int             `json:"machine"`
+	Outcome string          `json:"outcome"`
+	// Align, P and Score are set for placed/outscored outcomes: the
+	// alignment score (already remote-penalized when applicable), the
+	// job's remaining-work score, and the combined align − ε·p actually
+	// compared.
+	Align float64 `json:"align,omitempty"`
+	P     float64 `json:"p,omitempty"`
+	Score float64 `json:"score,omitempty"`
+	// Remote marks a placement that reads some input remotely.
+	Remote bool `json:"remote,omitempty"`
+}
+
+// RoundTrace records one sampled scheduling round.
+type RoundTrace struct {
+	Round    uint64  `json:"round"`
+	Time     float64 `json:"time"`
+	Machines int     `json:"machines"`
+	// Fairness-knob cutoff (§3.4): of RunnableJobs sorted by fairness
+	// deficit, only the first EligibleJobs were considered; CutoffJobIDs
+	// lists the jobs excluded this round (barrier-tail tasks excepted).
+	RunnableJobs int     `json:"runnable_jobs"`
+	EligibleJobs int     `json:"eligible_jobs"`
+	CutoffJobIDs []int   `json:"cutoff_job_ids,omitempty"`
+	Eps          float64 `json:"eps"` // last ε computed this round
+	Placed       int     `json:"placed"`
+	Decisions    []TaskDecision `json:"decisions"`
+	// Truncated counts decisions dropped after the per-round cap.
+	Truncated int `json:"truncated,omitempty"`
+}
+
+// maxTraceDecisions caps one round's decision list; busy rounds keep the
+// earliest records (the most deprived jobs come first) and count the
+// rest in Truncated.
+const maxTraceDecisions = 512
+
+// DecisionRing collects sampled RoundTraces into a bounded ring.
+type DecisionRing struct {
+	ring  *telemetry.Ring[RoundTrace]
+	every uint64
+	seen  atomic.Uint64
+}
+
+// NewDecisionRing traces one round in every `every` (≤1 = every round),
+// retaining the most recent `capacity` round traces.
+func NewDecisionRing(capacity, every int) *DecisionRing {
+	if every < 1 {
+		every = 1
+	}
+	return &DecisionRing{
+		ring:  telemetry.NewRing[RoundTrace](capacity),
+		every: uint64(every),
+	}
+}
+
+// sample reports whether the next round should be traced.
+func (dr *DecisionRing) sample() bool {
+	return (dr.seen.Add(1)-1)%dr.every == 0
+}
+
+// Snapshot returns the retained round traces, oldest first.
+func (dr *DecisionRing) Snapshot() []RoundTrace { return dr.ring.Snapshot() }
+
+// Dropped returns how many round traces the ring has evicted.
+func (dr *DecisionRing) Dropped() uint64 { return dr.ring.Dropped() }
+
+// Len returns the number of retained round traces.
+func (dr *DecisionRing) Len() int { return dr.ring.Len() }
+
+// trace appends a decision to the in-flight round trace, honoring the
+// per-round cap. No-op when the round is not being traced.
+func (ic *incrState) trace(d TaskDecision) {
+	rt := ic.rt
+	if rt == nil {
+		return
+	}
+	if len(rt.Decisions) >= maxTraceDecisions {
+		rt.Truncated++
+		return
+	}
+	rt.Decisions = append(rt.Decisions, d)
+}

@@ -44,6 +44,7 @@ func (s *Sim) crashMachine(m int) {
 	s.faultRing.Append(faults.Record{
 		Time: s.clock, Kind: faults.MachineCrash, Machine: m, TasksKilled: len(victims),
 	})
+	s.metrics.faultDropped.Set(float64(s.faultRing.Dropped()))
 }
 
 // recoverMachine returns a crashed machine to service, empty.
@@ -56,6 +57,7 @@ func (s *Sim) recoverMachine(m int) {
 		Time: s.clock, Kind: faults.MachineRecover, Machine: m,
 		Downtime: s.clock - s.crashedAt[m],
 	})
+	s.metrics.faultDropped.Set(float64(s.faultRing.Dropped()))
 }
 
 // failTask aborts one running task: resources are released, the wasted

@@ -232,4 +232,6 @@ func (s *Sim) sample() {
 		Used:    used,
 		Demand:  demand,
 	})
+	s.metrics.observeSample(s.clock, used, demand, s.total, len(s.running), len(s.active))
+	s.metrics.fairnessDev.Set(s.fairnessDeviation())
 }

@@ -17,12 +17,14 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"github.com/tetris-sched/tetris/internal/cluster"
 	"github.com/tetris-sched/tetris/internal/eventq"
 	"github.com/tetris-sched/tetris/internal/faults"
 	"github.com/tetris-sched/tetris/internal/resources"
 	"github.com/tetris-sched/tetris/internal/scheduler"
+	"github.com/tetris-sched/tetris/internal/telemetry"
 	"github.com/tetris-sched/tetris/internal/workload"
 )
 
@@ -99,6 +101,14 @@ type Config struct {
 	// scheduling instant, that no machine's memory is over-committed and
 	// that no ledger is negative. For tests; costs a pass over machines.
 	CheckInvariants bool
+	// Metrics receives the simulator's telemetry: per-resource
+	// utilization and demand gauges, fairness deviation, placement
+	// counts, scheduling-round latency (metrics.go). The simulator is
+	// single-threaded during Run, so the gauges are plain values the sim
+	// loop publishes at sampling instants — a concurrent HTTP scrape
+	// sees the last published sample. Nil records into a private
+	// registry, exposing nothing.
+	Metrics *telemetry.Registry
 }
 
 // interferenceAlpha resolves the configured α.
@@ -212,6 +222,7 @@ type Sim struct {
 	crashedAt []float64 // crash time of currently-down machines
 	chaosRand *rand.Rand
 	faultRing *faults.Ring // bounded fault log; drained into res at finalize
+	metrics   *simMetrics
 	res       *Result
 	// Scratch for schedule(): the view and its job list are rebuilt every
 	// round (the scheduler must not retain them) but reuse one backing
@@ -238,6 +249,7 @@ func New(cfg Config) (*Sim, error) {
 		cfg:       cfg,
 		res:       newResult(),
 		faultRing: faults.NewRing(cfg.FaultLogCap),
+		metrics:   newSimMetrics(cfg.Metrics),
 	}
 	if cfg.TaskFailureProb > 0 {
 		seed := cfg.FailureSeed
@@ -469,7 +481,10 @@ func (s *Sim) schedule() {
 	}
 	s.viewJobs = v.Jobs
 	s.updateReported()
+	t0 := time.Now()
 	asgs := s.cfg.Scheduler.Schedule(v)
+	s.metrics.scheduleRound.Observe(time.Since(t0).Seconds())
+	s.metrics.placements.Add(uint64(len(asgs)))
 	for _, a := range asgs {
 		s.start(a)
 	}

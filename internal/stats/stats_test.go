@@ -125,13 +125,6 @@ func TestCDF(t *testing.T) {
 	}
 }
 
-func TestCDFEmpty(t *testing.T) {
-	c := NewCDF(nil)
-	if c.At(1) != 0 || c.Quantile(0.5) != 0 {
-		t.Error("empty CDF should return zeros")
-	}
-}
-
 func TestHist2D(t *testing.T) {
 	h := NewHist2D(10, 10, 0, 1, 0, 1)
 	for i := 0; i < 100; i++ {

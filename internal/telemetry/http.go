@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server bundles a Registry with optional debug sources and exposes
+// them over HTTP. All fields but Registry are optional; nil sources
+// yield 404 on their endpoint.
+type Server struct {
+	Registry *Registry
+
+	// Status returns a JSON-serializable snapshot for /debug/status
+	// (the RM wraps ClusterStatus here, the sim its progress).
+	Status func() (any, error)
+
+	// Trace returns recent structured decision traces for /debug/trace.
+	Trace func() any
+
+	ln   net.Listener
+	http *http.Server
+}
+
+// Handler returns the endpoint mux:
+//
+//	/metrics       Prometheus text exposition
+//	/debug/status  JSON status snapshot
+//	/debug/trace   JSON recent decision traces
+//	/debug/pprof/  runtime profiles
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/status", func(w http.ResponseWriter, _ *http.Request) {
+		if s.Status == nil {
+			http.NotFound(w, nil)
+			return
+		}
+		v, err := s.Status()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, v)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		if s.Trace == nil {
+			http.NotFound(w, nil)
+			return
+		}
+		writeJSON(w, s.Trace())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Start listens on addr (e.g. "127.0.0.1:9090", port 0 for ephemeral)
+// and serves the Handler mux in a background goroutine until Close.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.http.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address after Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the HTTP server. Safe to call without Start.
+func (s *Server) Close() error {
+	if s.http == nil {
+		return nil
+	}
+	return s.http.Close()
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer() *Server {
+	r := NewRegistry()
+	r.Counter("tetris_test_total", "A test counter.").Add(9)
+	return &Server{
+		Registry: r,
+		Status:   func() (any, error) { return map[string]int{"nodes": 2}, nil },
+		Trace:    func() any { return []string{"round-1"} },
+	}
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	h := newTestServer().Handler()
+
+	code, body := get(t, h, "/metrics")
+	if code != 200 || !strings.Contains(body, "tetris_test_total 9") {
+		t.Fatalf("/metrics: code %d body %q", code, body)
+	}
+
+	code, body = get(t, h, "/debug/status")
+	var st map[string]int
+	if code != 200 {
+		t.Fatalf("/debug/status: code %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil || st["nodes"] != 2 {
+		t.Fatalf("/debug/status: body %q err %v", body, err)
+	}
+
+	code, body = get(t, h, "/debug/trace")
+	if code != 200 || !strings.Contains(body, "round-1") {
+		t.Fatalf("/debug/trace: code %d body %q", code, body)
+	}
+
+	code, _ = get(t, h, "/debug/pprof/cmdline")
+	if code != 200 {
+		t.Fatalf("/debug/pprof/cmdline: code %d", code)
+	}
+}
+
+func TestHandlerNilSources(t *testing.T) {
+	h := (&Server{Registry: NewRegistry()}).Handler()
+	if code, _ := get(t, h, "/debug/status"); code != 404 {
+		t.Fatalf("/debug/status with nil Status: code %d, want 404", code)
+	}
+	if code, _ := get(t, h, "/debug/trace"); code != 404 {
+		t.Fatalf("/debug/trace with nil Trace: code %d, want 404", code)
+	}
+}
+
+func TestHandlerStatusError(t *testing.T) {
+	s := newTestServer()
+	s.Status = func() (any, error) { return nil, errors.New("boom") }
+	if code, _ := get(t, s.Handler(), "/debug/status"); code != 500 {
+		t.Fatalf("code %d, want 500", code)
+	}
+}
+
+func TestStartServesOverTCP(t *testing.T) {
+	s := newTestServer()
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "tetris_test_total 9") {
+		t.Fatalf("body = %q", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+}

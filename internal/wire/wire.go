@@ -11,6 +11,7 @@ package wire
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -22,6 +23,12 @@ import (
 // MaxFrame is the largest accepted frame size in bytes. Job DAGs with
 // tens of thousands of tasks serialize well below this.
 const MaxFrame = 64 << 20
+
+// ErrFrameTooLarge marks a frame exceeding MaxFrame, on either path:
+// Write refuses to emit one, Read refuses a header announcing one.
+// Callers distinguish it (errors.Is) from transport failures — an
+// oversize frame is a peer bug or corruption, never worth a retry.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
 
 // Message types.
 const (
@@ -155,7 +162,7 @@ func Write(w io.Writer, m *Message) error {
 		return fmt.Errorf("wire: marshal: %w", err)
 	}
 	if len(body) > MaxFrame {
-		return fmt.Errorf("wire: frame too large: %d bytes", len(body))
+		return fmt.Errorf("%w: marshaled message is %d bytes", ErrFrameTooLarge, len(body))
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
@@ -174,7 +181,7 @@ func Read(r io.Reader) (*Message, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+		return nil, fmt.Errorf("%w: header announces %d bytes", ErrFrameTooLarge, n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {

@@ -3,8 +3,10 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"net"
+	"strings"
 	"testing"
 
 	"github.com/tetris-sched/tetris/internal/resources"
@@ -160,5 +162,31 @@ func TestBigJobFrame(t *testing.T) {
 	}
 	if out.SubmitJob.Job.NumTasks() != 5000 {
 		t.Errorf("tasks = %d", out.SubmitJob.Job.NumTasks())
+	}
+}
+
+func TestWriteRejectsOversizeFrame(t *testing.T) {
+	// An Error payload of MaxFrame bytes marshals past the limit once
+	// JSON framing is added. Write must refuse it with ErrFrameTooLarge
+	// and emit nothing — a partial frame would desynchronize the stream.
+	m := &Message{Type: TypeError, Error: strings.Repeat("x", MaxFrame)}
+	var buf bytes.Buffer
+	err := Write(&buf, m)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("Write err = %v, want ErrFrameTooLarge", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("Write emitted %d bytes alongside the error", buf.Len())
+	}
+}
+
+func TestReadRejectsOversizeHeader(t *testing.T) {
+	// A header announcing MaxFrame+1 bytes must be refused before any
+	// allocation or body read.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(MaxFrame+1))
+	_, err := Read(bytes.NewReader(hdr[:]))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("Read err = %v, want ErrFrameTooLarge", err)
 	}
 }
