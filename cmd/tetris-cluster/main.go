@@ -45,6 +45,9 @@ func main() {
 		snapEvery  = flag.Int("snapshot-every", 0, "journal records between snapshot checkpoints (0 = default)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, JSON /debug/status and /debug/trace, and pprof on this address (empty = off)")
+
+		coreName = flag.String("core", "incremental", "tetris schedule core: incremental | reference | parallel")
+		workers  = flag.Int("sched-workers", 0, "parallel core pool size (0 = GOMAXPROCS; needs -core=parallel)")
 	)
 	flag.Parse()
 	syncPolicy, err := journal.ParsePolicy(*fsyncMode)
@@ -68,6 +71,17 @@ func main() {
 	ring := scheduler.NewDecisionRing(256, 1)
 	schedCfg := tetris.DefaultConfig()
 	schedCfg.Trace = ring
+	switch *coreName {
+	case "incremental":
+		schedCfg.Core = tetris.CoreIncremental
+	case "reference":
+		schedCfg.Core = tetris.CoreReference
+	case "parallel":
+		schedCfg.Core = tetris.CoreParallel
+		schedCfg.Workers = *workers
+	default:
+		log.Fatalf("unknown core %q (want incremental, reference or parallel)", *coreName)
+	}
 	srv, err := rm.New("127.0.0.1:0", rm.Config{
 		Scheduler:     tetris.NewScheduler(schedCfg),
 		Estimator:     tetris.NewEstimator(),

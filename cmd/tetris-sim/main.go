@@ -33,7 +33,8 @@ func main() {
 		barrier   = flag.Float64("barrier", 0.9, "tetris barrier knob b ∈ (0,1]")
 		penalty   = flag.Float64("remote-penalty", 0.1, "tetris remote penalty")
 		epsMult   = flag.Float64("eps", 1, "tetris ε multiplier m")
-		coreName  = flag.String("core", "incremental", "tetris schedule core: incremental | reference")
+		coreName  = flag.String("core", "incremental", "tetris schedule core: incremental | reference | parallel")
+		workers   = flag.Int("sched-workers", 0, "parallel core pool size (0 = GOMAXPROCS; needs -core=parallel)")
 		compare   = flag.Bool("compare", false, "also run slot-fair and DRF and print gains")
 		failures  = flag.Float64("failures", 0, "task failure probability (re-executed on failure)")
 
@@ -74,6 +75,7 @@ func main() {
 	if wl.NumMachines > *machines {
 		log.Fatalf("workload references %d machines; raise -machines", wl.NumMachines)
 	}
+	var mainSched tetris.Scheduler
 	mkSched := func(name string) tetris.Scheduler {
 		switch name {
 		case "tetris":
@@ -87,8 +89,11 @@ func main() {
 				cfg.Core = tetris.CoreIncremental
 			case "reference":
 				cfg.Core = tetris.CoreReference
+			case "parallel":
+				cfg.Core = tetris.CoreParallel
+				cfg.Workers = *workers
 			default:
-				log.Fatalf("unknown core %q (want incremental or reference)", *coreName)
+				log.Fatalf("unknown core %q (want incremental, reference or parallel)", *coreName)
 			}
 			cfg.Trace = ring
 			return tetris.NewScheduler(cfg)
@@ -122,10 +127,14 @@ func main() {
 	}
 
 	run := func(name string) *tetris.Result {
+		s := mkSched(name)
+		if mainSched == nil {
+			mainSched = s
+		}
 		res, err := tetris.Simulate(tetris.SimConfig{
 			Cluster:         tetris.NewFacebookCluster(*machines),
 			Workload:        wl,
-			Scheduler:       mkSched(name),
+			Scheduler:       s,
 			TaskFailureProb: *failures,
 			FaultPlan:       plan,
 			MaxTaskAttempts: *maxAttempt,
@@ -147,6 +156,15 @@ func main() {
 		res.AvgJCT(), stats.Median(jcts), stats.Percentile(jcts, 90))
 	fmt.Printf("task duration %.1f s mean\n", res.MeanTaskDuration())
 	fmt.Printf("locality      %.0f%% of input bytes read locally\n", 100*res.LocalityFraction())
+	if p, ok := mainSched.(interface {
+		ParallelStats() (tetris.ParallelStats, bool)
+	}); ok {
+		if ps, ok := p.ParallelStats(); ok && ps.Rounds > 0 {
+			fmt.Printf("parallel      %d workers, %.0f%% occupancy, %.1f µs mean scatter over %d rounds\n",
+				ps.Workers, 100*ps.Occupancy(),
+				float64(ps.ScatterNs)/float64(ps.Rounds)/1e3, ps.Rounds)
+		}
+	}
 	if *failures > 0 {
 		fmt.Printf("failures      %d task attempts failed and re-ran\n", res.FailedAttempts)
 	}

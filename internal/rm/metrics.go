@@ -13,7 +13,10 @@ package rm
 // so every counting site is guarded by s.replaying to keep a restarted
 // RM from re-counting its past.
 
-import "github.com/tetris-sched/tetris/internal/telemetry"
+import (
+	"github.com/tetris-sched/tetris/internal/scheduler"
+	"github.com/tetris-sched/tetris/internal/telemetry"
+)
 
 type rmMetrics struct {
 	placements    *telemetry.Counter
@@ -31,9 +34,15 @@ type rmMetrics struct {
 	nmHeartbeat   *telemetry.Histogram
 	amHeartbeat   *telemetry.Histogram
 	journalFsync  *telemetry.Histogram
+	parScatter    *telemetry.Histogram
 
 	replaySeconds *telemetry.Gauge
 	replayRecords *telemetry.Gauge
+
+	// Previous cumulative parallel-core counters, for per-round scatter
+	// deltas. Only touched at the Schedule call site under s.mu.
+	prevScatterNs     uint64
+	prevScatterRounds uint64
 }
 
 // newRMMetrics resolves the RM's metric set in reg. A nil reg gets a
@@ -59,6 +68,7 @@ func newRMMetrics(reg *telemetry.Registry) *rmMetrics {
 		nmHeartbeat:   reg.Histogram("tetris_rm_nm_heartbeat_seconds", "NM heartbeat processing time, scheduling included."),
 		amHeartbeat:   reg.Histogram("tetris_rm_am_heartbeat_seconds", "AM heartbeat processing time."),
 		journalFsync:  reg.Histogram("tetris_rm_journal_fsync_seconds", "Write-ahead journal fsync latency."),
+		parScatter:    reg.Histogram("tetris_rm_parallel_scatter_seconds", "Scatter-phase wall time of one parallel-core scheduling round."),
 
 		replaySeconds: reg.Gauge("tetris_rm_journal_replay_seconds", "Wall time of the last journal recovery replay."),
 		replayRecords: reg.Gauge("tetris_rm_journal_replay_records", "Log records replayed by the last journal recovery."),
@@ -106,4 +116,30 @@ func (s *Server) registerGauges(reg *telemetry.Registry) {
 	reg.GaugeFunc("tetris_rm_fault_log_dropped", "Fault records evicted from the bounded fault ring.", func() float64 {
 		return float64(s.DroppedFaultEvents())
 	})
+	// Parallel-core pool gauges, registered only when the configured
+	// scheduler runs one. The counters are atomics, so these scrape
+	// without s.mu.
+	if _, ok := parallelStats(s.cfg.Scheduler); ok {
+		reg.GaugeFunc("tetris_rm_sched_workers", "Resolved worker-pool size of the parallel scheduling core.", func() float64 {
+			ps, _ := parallelStats(s.cfg.Scheduler)
+			return float64(ps.Workers)
+		})
+		reg.GaugeFunc("tetris_rm_sched_worker_occupancy", "Mean scatter-phase worker occupancy of the parallel scheduling core.", func() float64 {
+			ps, _ := parallelStats(s.cfg.Scheduler)
+			return ps.Occupancy()
+		})
+	}
+}
+
+// parallelStats reports the scheduler's parallel-core counters. ok is
+// false when the scheduler has no parallel core (other schedulers, or
+// a Tetris instance on a sequential core).
+func parallelStats(sched scheduler.Scheduler) (scheduler.ParallelStats, bool) {
+	p, ok := sched.(interface {
+		ParallelStats() (scheduler.ParallelStats, bool)
+	})
+	if !ok {
+		return scheduler.ParallelStats{}, false
+	}
+	return p.ParallelStats()
 }

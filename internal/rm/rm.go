@@ -677,6 +677,13 @@ func (s *Server) runScheduler() {
 	t0 := time.Now()
 	asgs := s.cfg.Scheduler.Schedule(v)
 	s.metrics.scheduleRound.Observe(time.Since(t0).Seconds())
+	if ps, ok := parallelStats(s.cfg.Scheduler); ok && ps.Rounds > s.metrics.prevScatterRounds {
+		// The counters are cumulative; the delta is this round's scatter
+		// (Schedule runs under s.mu, so rounds advance one at a time).
+		s.metrics.parScatter.Observe(float64(ps.ScatterNs-s.metrics.prevScatterNs) / 1e9)
+		s.metrics.prevScatterNs = ps.ScatterNs
+		s.metrics.prevScatterRounds = ps.Rounds
+	}
 	s.metrics.placements.Add(uint64(len(asgs)))
 	for _, a := range asgs {
 		s.journal(&event{Kind: evLaunch, Time: now, Task: a.Task.ID,

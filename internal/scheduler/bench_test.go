@@ -67,6 +67,32 @@ func BenchmarkTetrisSchedule(b *testing.B) {
 	}
 }
 
+// BenchmarkTetrisScheduleParallel measures the parallel core at fixed
+// pool sizes. w1 bypasses the scatter (it must track the incremental
+// core within noise — scripts/benchgate pairs it against
+// BenchmarkTetrisSchedule/<size>/incremental and fails the gate past
+// 15%); w4/w8 need that many cores to show wall-clock speedup, so their
+// numbers are only meaningful on a machine with GOMAXPROCS >= workers.
+func BenchmarkTetrisScheduleParallel(b *testing.B) {
+	for _, sz := range benchSizes {
+		v := benchView(sz, 3)
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/w%d", sz.name, workers), func(b *testing.B) {
+				cfg := DefaultTetrisConfig()
+				cfg.Core = CoreParallel
+				cfg.Workers = workers
+				t := NewTetris(cfg)
+				t.Schedule(v) // warm caches and scratch
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					t.Schedule(v)
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkDRFSchedule(b *testing.B) {
 	for _, sz := range benchSizes {
 		v := benchView(sz, 3)

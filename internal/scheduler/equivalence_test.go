@@ -10,12 +10,14 @@ import (
 )
 
 // Differential equivalence suite: the optimized schedulers (incremental
-// Tetris core, heap-based DRF/SlotFair) must make bit-identical decisions
-// to their reference implementations. Randomized clusters and workloads
-// are driven through many rounds of scheduling, task completion, task
-// failure and machine crash/recovery in two twin worlds — one per
-// implementation — and every round's assignment sequence is compared
-// field for field, including the exact demand and remote-charge vectors.
+// and parallel Tetris cores, heap-based DRF/SlotFair) must make
+// bit-identical decisions to their reference implementations. Randomized
+// clusters and workloads are driven through many rounds of scheduling,
+// task completion, task failure and machine crash/recovery in twin
+// worlds — one per implementation — and every round's assignment
+// sequence is compared field for field, including the exact demand and
+// remote-charge vectors. The Tetris comparisons are three-way
+// (incremental vs reference vs parallel at varying pool sizes).
 
 // ---------------------------------------------------------------------
 // Random world generation. Job/Stage/Task values are immutable during
@@ -98,6 +100,10 @@ type eqWorld struct {
 	placed   []placement // running tasks in placement order
 	rng      *rand.Rand  // churn script; draws identically in twin worlds
 	total    resources.Vector
+	// est, when non-nil, becomes the View's EstimateDemand hook with the
+	// current round prepended — the estimator-refinement differential
+	// tests use it to move estimates mid-workload.
+	est func(round int, j *JobState, t *workload.Task) (resources.Vector, float64)
 }
 
 func newEqWorld(sched Scheduler, jobs []*workload.Job, caps []resources.Vector, arrive []int, seed int64) *eqWorld {
@@ -172,6 +178,12 @@ func (w *eqWorld) step(round int, faults, hotspots bool) []Assignment {
 		}
 	}
 	v := &View{Time: now, Machines: w.machines, Total: w.total}
+	if w.est != nil {
+		r := round
+		v.EstimateDemand = func(j *JobState, t *workload.Task) (resources.Vector, float64) {
+			return w.est(r, j, t)
+		}
+	}
 	for i, j := range w.jobs {
 		if w.arrive[i] <= round && !j.Status.Finished() {
 			v.Jobs = append(v.Jobs, j)
@@ -228,9 +240,11 @@ func diffAssignments(a, b []Assignment) string {
 	return ""
 }
 
-// runEquivalence drives twin worlds under two scheduler builds for the
-// given number of rounds and returns the number of compared rounds.
-func runEquivalence(t testing.TB, name string, mkFast, mkRef func() Scheduler, seed int64, rounds int, hotspots bool) int {
+// runEquivalenceN drives one twin world per scheduler build for the
+// given number of rounds, comparing every build's assignment sequence
+// against the first's each round, and returns the number of compared
+// rounds. labels name the builds in failure messages.
+func runEquivalenceN(t testing.TB, name string, labels []string, mks []func() Scheduler, seed int64, rounds int, hotspots bool) int {
 	rng := rand.New(rand.NewSource(seed))
 	nMach := 4 + rng.Intn(12)
 	nJobs := 3 + rng.Intn(8)
@@ -240,16 +254,40 @@ func runEquivalence(t testing.TB, name string, mkFast, mkRef func() Scheduler, s
 	for i := range arrive {
 		arrive[i] = rng.Intn(rounds/2 + 1)
 	}
-	wFast := newEqWorld(mkFast(), jobs, caps, arrive, seed+1)
-	wRef := newEqWorld(mkRef(), jobs, caps, arrive, seed+1)
+	worlds := make([]*eqWorld, len(mks))
+	for i, mk := range mks {
+		worlds[i] = newEqWorld(mk(), jobs, caps, arrive, seed+1)
+	}
 	for r := 0; r < rounds; r++ {
-		a := wFast.step(r, true, hotspots)
-		b := wRef.step(r, true, hotspots)
-		if msg := diffAssignments(a, b); msg != "" {
-			t.Fatalf("%s seed=%d round=%d: fast and reference cores diverge: %s", name, seed, r, msg)
+		a := worlds[0].step(r, true, hotspots)
+		for i := 1; i < len(worlds); i++ {
+			b := worlds[i].step(r, true, hotspots)
+			if msg := diffAssignments(a, b); msg != "" {
+				t.Fatalf("%s seed=%d round=%d: %s and %s cores diverge: %s",
+					name, seed, r, labels[0], labels[i], msg)
+			}
 		}
 	}
 	return rounds
+}
+
+// runEquivalence is the two-build special case (fast vs reference).
+func runEquivalence(t testing.TB, name string, mkFast, mkRef func() Scheduler, seed int64, rounds int, hotspots bool) int {
+	return runEquivalenceN(t, name, []string{"fast", "reference"},
+		[]func() Scheduler{mkFast, mkRef}, seed, rounds, hotspots)
+}
+
+// tetrisCoreMakers builds the three cores for one knob configuration:
+// incremental, reference and parallel (at the given pool size). The
+// equivalence driver compares all three round by round.
+func tetrisCoreMakers(cfg TetrisConfig, workers int) ([]string, []func() Scheduler) {
+	labels := []string{"incremental", "reference", fmt.Sprintf("parallel/w%d", workers)}
+	mks := []func() Scheduler{
+		func() Scheduler { c := cfg; c.Core = CoreIncremental; return NewTetris(c) },
+		func() Scheduler { c := cfg; c.Core = CoreReference; return NewTetris(c) },
+		func() Scheduler { c := cfg; c.Core = CoreParallel; c.Workers = workers; return NewTetris(c) },
+	}
+	return labels, mks
 }
 
 // tetrisEquivalenceConfigs spans every knob the equivalence suite must
@@ -321,9 +359,11 @@ func TestScheduleEquivalence(t *testing.T) {
 			cfg.DisableRemoteCharges, cfg.HotspotThreshold, cfg.StarvationSec, cfg.Scorer.Name())
 		for s := 0; s < seedsPerConfig; s++ {
 			seed := int64(1000*ci + 7*s + 13)
-			tetrisRounds += runEquivalence(t, name,
-				func() Scheduler { return NewTetris(cfg) },
-				func() Scheduler { c := cfg; c.Core = CoreReference; return NewTetris(c) },
+			// Vary the parallel pool size across seeds: the worker count
+			// must never show in the decisions.
+			workers := []int{2, 3, 8}[(ci+s)%3]
+			labels, mks := tetrisCoreMakers(cfg, workers)
+			tetrisRounds += runEquivalenceN(t, name, labels, mks,
 				seed, rounds, cfg.HotspotThreshold > 0)
 		}
 	}
@@ -382,9 +422,11 @@ func FuzzScheduleEquivalence(f *testing.F) {
 				cfg.StarvationSec = 2
 			}
 			cfg.Scorer = Scorers()[int(knobs)%len(Scorers())]
-			runEquivalence(t, "fuzz-tetris",
-				func() Scheduler { return NewTetris(cfg) },
-				func() Scheduler { c := cfg; c.Core = CoreReference; return NewTetris(c) },
+			// Pool size derived from the seed so the fuzzer's corpus
+			// signature stays stable while still exploring it.
+			workers := 2 + int(uint64(seed)%7)
+			labels, mks := tetrisCoreMakers(cfg, workers)
+			runEquivalenceN(t, "fuzz-tetris", labels, mks,
 				seed, r, cfg.HotspotThreshold > 0)
 		case 1:
 			mk := NewDRF

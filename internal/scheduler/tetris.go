@@ -50,18 +50,26 @@ type TetrisConfig struct {
 	// Core selects the Schedule implementation. The default
 	// (CoreIncremental) is the optimized hot path; CoreReference is the
 	// original straight-line implementation kept as the behavioural
-	// oracle. Both produce bit-identical assignment sequences — the
+	// oracle; CoreParallel scatter-gathers candidate scoring across a
+	// worker pool and reduces sequentially (tetris_parallel.go). All
+	// three produce bit-identical assignment sequences — the
 	// differential equivalence suite (equivalence_test.go) and
 	// FuzzScheduleEquivalence enforce it.
 	Core Core
+	// Workers bounds the CoreParallel scoring pool. 0 means GOMAXPROCS;
+	// 1 degenerates to the incremental core (a one-worker scatter would
+	// be pure overhead). Ignored by the other cores.
+	Workers int
 	// Trace, when non-nil, collects sampled per-round decision traces
-	// (trace.go). Read-only observation: it never alters decisions. Only
-	// the incremental core emits traces; the reference core is kept
+	// (trace.go). Read-only observation: it never alters decisions. The
+	// incremental and parallel cores emit traces (the parallel reduce
+	// consults warm entries at the same sites considerTR would compute,
+	// so the traces are identical); the reference core is kept
 	// instrumentation-free as the behavioural oracle.
 	Trace *DecisionRing
 }
 
-// Core selects between the two decision-identical Schedule
+// Core selects between the three decision-identical Schedule
 // implementations.
 type Core int
 
@@ -73,12 +81,20 @@ const (
 	// CoreReference is the original implementation, kept as the oracle
 	// the equivalence suite and fuzzer compare against.
 	CoreReference
+	// CoreParallel is the incremental core with a concurrent scatter
+	// phase: candidate scoring fans out across a bounded worker pool,
+	// then the sequential reduce applies placements in the same order
+	// the other cores would (tetris_parallel.go).
+	CoreParallel
 )
 
 // String names the core for experiment output.
 func (c Core) String() string {
-	if c == CoreReference {
+	switch c {
+	case CoreReference:
 		return "reference"
+	case CoreParallel:
+		return "parallel"
 	}
 	return "incremental"
 }
@@ -105,7 +121,12 @@ type Tetris struct {
 	// stageScore caches the average per-task SRTF score of each (job,
 	// stage): Σ-normalized-demand × duration, averaged over the stage's
 	// tasks. Remaining work is then remainingTasks × avg per stage.
-	stageScore map[[2]int]float64
+	// Entries carry the estimate of the stage's first task as an
+	// invalidation probe: when the estimator (§4.1) refines a stage —
+	// Overestimated → FromStage, or a running mean moving — the probe
+	// changes and the average is recomputed, so SRTF ordering tracks the
+	// current estimates instead of whatever was seen first.
+	stageScore map[[2]int]stageScoreEntry
 	// locals indexes tasks by the machines holding their input blocks.
 	// Entries are dropped lazily once their task is no longer pending;
 	// localsCursor rotates each machine's scan start so blocked entries
@@ -120,9 +141,20 @@ type Tetris struct {
 	// resOrder is scratch for iterating reservations in deterministic
 	// (machine-id) order.
 	resOrder []int
+	// active maps job ID → state for the jobs in the current View;
+	// rebuilt each round by evictDeparted, which sweeps the per-job maps
+	// above so finished jobs cannot grow them without bound.
+	active map[int]*JobState
+	// uncachedSRTF disables the stageScore cache entirely. Test hook:
+	// the estimator-rescoring differential suite compares cached runs
+	// against this from-scratch oracle.
+	uncachedSRTF bool
 	// inc holds the incremental core's round-scoped caches and scratch
 	// buffers (tetris_incremental.go). Lazily initialized.
 	inc incrState
+	// par holds the parallel core's warm tables, worker pool bookkeeping
+	// and cumulative stats (tetris_parallel.go). Nil for other cores.
+	par *parState
 	// epsTrace, when non-nil, records every ε value the inner loop
 	// computes, in decision order. Test hook for the ε regression suite.
 	epsTrace *[]float64
@@ -148,15 +180,20 @@ func NewTetris(cfg TetrisConfig) *Tetris {
 	if cfg.Barrier <= 0 {
 		cfg.Barrier = 1 // disabled
 	}
-	return &Tetris{
+	t := &Tetris{
 		cfg:          cfg,
-		stageScore:   make(map[[2]int]float64),
+		stageScore:   make(map[[2]int]stageScoreEntry),
 		locals:       make(map[int][]locEntry),
 		localsCursor: make(map[int]int),
 		indexedJobs:  make(map[int]bool),
 		firstSeen:    make(map[*workload.Task]float64),
 		reserved:     make(map[int]*workload.Task),
+		active:       make(map[int]*JobState),
 	}
+	if cfg.Core == CoreParallel {
+		t.par = &parState{}
+	}
+	return t
 }
 
 // Name implements Scheduler.
@@ -171,8 +208,23 @@ func taskSRTFScore(peak resources.Vector, duration float64, total resources.Vect
 	return duration * peak.Normalize(total).Sum()
 }
 
+// stageScoreEntry is one (job, stage) SRTF average plus the estimate of
+// the stage's first task at the time the average was computed. Estimates
+// move per (job, stage) — the §4.1 estimator keys its statistics that
+// way, so every task of a stage shifts together — which makes the first
+// task a sufficient staleness probe. Custom View.EstimateDemand oracles
+// must preserve that property (move a stage's estimates together) for
+// the cache to track them; the built-in estimator does.
+type stageScoreEntry struct {
+	avg       float64
+	probePeak resources.Vector
+	probeDur  float64
+}
+
 // remainingWork returns the multi-resource SRTF score of a job: the total
-// resource×time consumption of its not-yet-finished tasks.
+// resource×time consumption of its not-yet-finished tasks. Per-stage
+// averages are cached and recomputed whenever the scheduler-visible
+// estimate of the stage moves (see stageScoreEntry).
 func (t *Tetris) remainingWork(v *View, j *JobState) float64 {
 	p := 0.0
 	for si := range j.Job.Stages {
@@ -180,20 +232,98 @@ func (t *Tetris) remainingWork(v *View, j *JobState) float64 {
 		if rem == 0 {
 			continue
 		}
+		tasks := j.Job.Stages[si].Tasks
+		if len(tasks) == 0 {
+			continue
+		}
+		probePeak, probeDur := v.Demand(j, tasks[0])
 		key := [2]int{j.Job.ID, si}
-		avg, ok := t.stageScore[key]
-		if !ok {
-			sum := 0.0
-			for _, task := range j.Job.Stages[si].Tasks {
+		e, ok := t.stageScore[key]
+		if t.uncachedSRTF || !ok || e.probePeak != probePeak || e.probeDur != probeDur {
+			sum := taskSRTFScore(probePeak, probeDur, v.Total)
+			for _, task := range tasks[1:] {
 				peak, dur := v.Demand(j, task)
 				sum += taskSRTFScore(peak, dur, v.Total)
 			}
-			avg = sum / float64(len(j.Job.Stages[si].Tasks))
-			t.stageScore[key] = avg
+			e = stageScoreEntry{avg: sum / float64(len(tasks)), probePeak: probePeak, probeDur: probeDur}
+			t.stageScore[key] = e
 		}
-		p += avg * float64(rem)
+		p += e.avg * float64(rem)
 	}
 	return p
+}
+
+// evictDeparted rebuilds the active-job index for this round and, when a
+// previously indexed job is no longer in the View (jobs never return
+// once finished), sweeps it out of every piece of long-lived scheduler
+// state: stageScore, indexedJobs, firstSeen, reservations, the locality
+// index and the incremental core's task cache. Without the sweep those
+// maps keep keys for finished jobs forever. All three cores share it, so
+// the (decision-shaping) locality-index compaction stays bit-identical
+// across them. Map iteration order never leaks into decisions: the
+// sweeps only delete entries, and list compaction preserves order.
+func (t *Tetris) evictDeparted(v *View) {
+	clear(t.active)
+	for _, j := range v.Jobs {
+		t.active[j.Job.ID] = j
+	}
+	departed := false
+	for id := range t.indexedJobs {
+		if t.active[id] == nil {
+			delete(t.indexedJobs, id)
+			departed = true
+		}
+	}
+	// firstSeen also drops tasks that left the pending state while
+	// recorded as a starvation head: they can never starve again.
+	for task := range t.firstSeen {
+		j := t.active[task.ID.Job]
+		if j == nil || j.Status.State(task.ID) != workload.Pending {
+			delete(t.firstSeen, task)
+		}
+	}
+	for mid, task := range t.reserved {
+		if t.active[task.ID.Job] == nil {
+			delete(t.reserved, mid)
+		}
+	}
+	if !departed {
+		return
+	}
+	for key := range t.stageScore {
+		if t.active[key[0]] == nil {
+			delete(t.stageScore, key)
+		}
+	}
+	for task := range t.inc.tasks {
+		if t.active[task.ID.Job] == nil {
+			delete(t.inc.tasks, task)
+		}
+	}
+	for mid, entries := range t.locals {
+		n := len(entries)
+		cursor := 0
+		if n > 0 {
+			cursor = t.localsCursor[mid] % n
+		}
+		newCursor := 0
+		out := entries[:0]
+		for i, e := range entries {
+			if t.active[e.jobID] != nil {
+				if i < cursor {
+					newCursor++
+				}
+				out = append(out, e)
+			}
+		}
+		if len(out) == 0 {
+			delete(t.locals, mid)
+			delete(t.localsCursor, mid)
+			continue
+		}
+		t.locals[mid] = out
+		t.localsCursor[mid] = newCursor % len(out)
+	}
 }
 
 // indexJob adds a newly seen job's input block locations to the locality
@@ -323,11 +453,14 @@ func (t *Tetris) buildRound(v *View, sorted []*JobState, eligible map[int]bool) 
 // (alignment − ε·remaining-work), honoring the fairness and barrier
 // knobs, until nothing more fits (§3.2–§3.5).
 //
-// Two decision-identical implementations back it: the incremental core
-// (default; tetris_incremental.go) and the reference core the paper's
-// pseudo-code maps onto directly (tetris_reference.go). Selection is
-// TetrisConfig.Core; the equivalence suite keeps them bit-identical.
+// Three decision-identical implementations back it: the incremental
+// core (default; tetris_incremental.go), the reference core the paper's
+// pseudo-code maps onto directly (tetris_reference.go), and the
+// parallel core (tetris_parallel.go) — the incremental reduce fed by a
+// concurrent scoring scatter. Selection is TetrisConfig.Core; the
+// equivalence suite keeps all three bit-identical.
 func (t *Tetris) Schedule(v *View) []Assignment {
+	t.evictDeparted(v)
 	if t.cfg.Core == CoreReference {
 		return t.scheduleReference(v)
 	}
@@ -469,7 +602,8 @@ func (t *Tetris) scanLocals(v *View, mid int, rs *roundState, consider func(*Job
 	start := t.localsCursor[mid] % n
 	considered, scanned := 0, 0
 	dead := 0
-	for off := 0; off < n && considered < maxConsider && scanned < maxScan; off++ {
+	off := 0
+	for ; off < n && considered < maxConsider && scanned < maxScan; off++ {
 		i := (start + off) % n
 		e := entries[i]
 		if e.task == nil {
@@ -501,15 +635,31 @@ func (t *Tetris) scanLocals(v *View, mid int, rs *roundState, consider func(*Job
 		consider(j, e.task, inTail)
 		considered++
 	}
-	t.localsCursor[mid] = start + scanned + dead
-	if dead > 0 {
-		// Compact tombstones, preserving order.
-		out := entries[:0]
-		for _, e := range entries {
-			if e.task != nil {
-				out = append(out, e)
-			}
-		}
-		t.locals[mid] = out
+	if dead == 0 {
+		t.localsCursor[mid] = start + off
+		return
 	}
+	// Compact tombstones, preserving order, and recompute the cursor in
+	// post-compaction coordinates: the next scan must start at the first
+	// entry this one did not visit. The old pre-compaction cursor
+	// (start+scanned+dead) pointed past the wrong entry once the list
+	// shrank, repeatedly skipping live local tasks.
+	nextOld := (start + off) % n
+	newCursor := 0
+	out := entries[:0]
+	for i, e := range entries {
+		if e.task != nil {
+			if i < nextOld {
+				newCursor++
+			}
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		delete(t.locals, mid)
+		delete(t.localsCursor, mid)
+		return
+	}
+	t.locals[mid] = out
+	t.localsCursor[mid] = newCursor % len(out)
 }

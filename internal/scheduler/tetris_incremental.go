@@ -87,6 +87,13 @@ type taskRound struct {
 	normBaseCap resources.Vector
 	normBaseSet bool
 
+	// warm is the parallel core's scatter output, indexed by machine ID
+	// and valid while warmRound matches the current round: alignment and
+	// feasibility prechecks computed concurrently against the round-start
+	// free ledger (tetris_parallel.go). Never set by the other cores.
+	warm      []warmEntry
+	warmRound uint64
+
 	// takenRound stamps the task as placed this round — the allocation-
 	// free mirror of roundState.taken for the stage scans.
 	takenRound uint64
@@ -99,6 +106,7 @@ type taskRound struct {
 	remoteMB  float64
 	d         resources.Vector // placement demand on mach
 	normD     resources.Vector // d normalized by mach's capacity
+	normDOK   bool             // normD computed for mach (lazy: skipped on warm hits)
 	remote    []RemoteCharge   // live charges for placement on mach
 	remoteSet bool
 	failLocal  bool // d did not fit free[mach]: monotone within the round
@@ -389,6 +397,13 @@ func (t *Tetris) scheduleIncremental(v *View) []Assignment {
 		}
 	}
 
+	// Parallel core: scatter phase. Runs after reservations (which charge
+	// the free ledger without bumping freeVer) so the warm tables are
+	// computed against exactly the ledger the fill loops start from.
+	if t.par != nil {
+		t.parScatter(v, rs)
+	}
+
 	for _, m := range v.Machines {
 		if m.Down {
 			continue // crashed/unreachable machine: place nothing
@@ -572,6 +587,14 @@ func (t *Tetris) considerIncr(j *JobState, task *workload.Task, inTail bool) {
 
 // considerTR is considerIncr after the cache-entry lookup — the stage
 // scans resolve tr positionally and call it directly.
+//
+// When the parallel core warmed this task for the round (tr.warmRound),
+// the warm entry substitutes for the pure computations it pre-ran
+// against the round-start free ledger: a failed precheck is permanent
+// (free only shrinks within a round) and a passing one is consumed only
+// while the relevant free-vector versions are still untouched — the
+// same validity rule the incremental caches already use, so the emitted
+// candidates (and traces) are bit-identical with or without warming.
 func (t *Tetris) considerTR(tr *taskRound, task *workload.Task, inTail bool) {
 	ic := &t.inc
 	if tr.tick == ic.tick {
@@ -602,9 +625,6 @@ func (t *Tetris) considerTR(tr *taskRound, task *workload.Task, inTail bool) {
 				d = projectCPUMem(d)
 			}
 			tr.d = d
-			if ic.ns != nil {
-				tr.normD = tr.d.Normalize(ic.curCap)
-			}
 		} else {
 			if !tr.baseSet {
 				d := EffectiveDemand(tr.peak, task, -1)
@@ -615,15 +635,8 @@ func (t *Tetris) considerTR(tr *taskRound, task *workload.Task, inTail bool) {
 				tr.baseSet = true
 			}
 			tr.d = tr.base
-			if ic.ns != nil {
-				if !tr.normBaseSet || tr.normBaseCap != ic.curCap {
-					tr.normBase = tr.base.Normalize(ic.curCap)
-					tr.normBaseCap = ic.curCap
-					tr.normBaseSet = true
-				}
-				tr.normD = tr.normBase
-			}
 		}
+		tr.normDOK = false // normalized lazily where alignment is computed
 		tr.remote = nil
 		tr.remoteSet = false
 		tr.failLocal = false
@@ -634,7 +647,20 @@ func (t *Tetris) considerTR(tr *taskRound, task *workload.Task, inTail bool) {
 	if tr.failLocal || tr.failRemote {
 		return // early-exit prune: free only shrinks, the failure stands
 	}
-	if !tr.d.FitsIn(ic.curAvail) {
+	var we *warmEntry
+	if tr.warmRound == ic.round {
+		if e := &tr.warm[mid]; e.flags&warmSet != 0 {
+			we = e
+			t.par.warmHits.Add(1)
+		}
+	}
+	if we != nil && we.flags&warmFitsLocal == 0 {
+		// Did not fit the round-start free vector: permanent this round.
+		tr.failLocal = true
+		ic.trace(TaskDecision{Task: task.ID, Machine: mid, Outcome: OutcomeInfeasibleLocal})
+		return
+	}
+	if (we == nil || ic.freeVer[mid] != 0) && !tr.d.FitsIn(ic.curAvail) {
 		tr.failLocal = true
 		// Traced at first detection only; the early-exit prune above
 		// keeps re-tests (and re-records) off later placements.
@@ -666,8 +692,9 @@ func (t *Tetris) considerTR(tr *taskRound, task *workload.Task, inTail bool) {
 			verSum += uint64(ic.freeVer[rc.Machine])
 		}
 		if !tr.remoteOK || verSum != tr.remoteVerSum {
-			for _, rc := range tr.remote {
-				if !rc.Charge.FitsIn(ic.free[rc.Machine]) {
+			if we != nil && verSum == 0 {
+				// Sources untouched since the scatter's precheck ran.
+				if we.flags&warmFitsRemote == 0 {
 					tr.failRemote = true
 					if !tr.affinity {
 						tr.baseRemoteDead = true
@@ -675,16 +702,48 @@ func (t *Tetris) considerTR(tr *taskRound, task *workload.Task, inTail bool) {
 					ic.trace(TaskDecision{Task: task.ID, Machine: mid, Outcome: OutcomeInfeasibleRemote})
 					return
 				}
+				tr.remoteOK = true
+				tr.remoteVerSum = 0
+			} else {
+				for _, rc := range tr.remote {
+					if !rc.Charge.FitsIn(ic.free[rc.Machine]) {
+						tr.failRemote = true
+						if !tr.affinity {
+							tr.baseRemoteDead = true
+						}
+						ic.trace(TaskDecision{Task: task.ID, Machine: mid, Outcome: OutcomeInfeasibleRemote})
+						return
+					}
+				}
+				tr.remoteOK = true
+				tr.remoteVerSum = verSum
 			}
-			tr.remoteOK = true
-			tr.remoteVerSum = verSum
 		}
 	}
 	var align float64
 	if tr.alignOK && tr.alignVer == ic.freeVer[mid] {
 		align = tr.align
+	} else if we != nil && ic.freeVer[mid] == 0 {
+		// The scatter scored against exactly this free vector.
+		align = we.align
+		tr.align = align
+		tr.alignVer = 0
+		tr.alignOK = true
 	} else {
 		if ic.ns != nil {
+			if !tr.normDOK {
+				if tr.affinity {
+					tr.normD = tr.d.Normalize(ic.curCap)
+				} else {
+					if !tr.normBaseSet || tr.normBaseCap != ic.curCap {
+						tr.normBase = tr.base.Normalize(ic.curCap)
+						tr.normBaseCap = ic.curCap
+						tr.normBaseSet = true
+					}
+					tr.normD = tr.normBase
+				}
+				tr.normDOK = true
+			}
 			align = ic.ns.ScoreNorm(tr.normD, ic.curNormA)
 		} else {
 			align = t.cfg.Scorer.Score(tr.d, ic.curAvail, ic.curCap)

@@ -1,0 +1,129 @@
+package scheduler
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Parallel-core tests. The three-way equivalence suite
+// (equivalence_test.go) already proves decision equivalence; these
+// cover the parallel-specific surfaces — worker-count invariance, the
+// scatter under the race detector (the CI race step runs
+// -run 'TestParallel' over this file) and the stats counters.
+
+// TestParallelWorkerInvariance: the pool size must never show in the
+// decisions — every worker count yields the incremental core's exact
+// assignment sequence, including Workers=0 (GOMAXPROCS) and Workers=1
+// (scatter bypassed).
+func TestParallelWorkerInvariance(t *testing.T) {
+	cfg := DefaultTetrisConfig()
+	cfg.StarvationSec = 2 // reservations charge free without bumping freeVer
+	labels := []string{"incremental"}
+	mks := []func() Scheduler{
+		func() Scheduler { return NewTetris(cfg) },
+	}
+	for _, w := range []int{0, 1, 2, 3, 5, 8, 16} {
+		w := w
+		labels = append(labels, fmt.Sprintf("parallel/w%d", w))
+		mks = append(mks, func() Scheduler {
+			c := cfg
+			c.Core = CoreParallel
+			c.Workers = w
+			return NewTetris(c)
+		})
+	}
+	for seed := int64(100); seed < 104; seed++ {
+		runEquivalenceN(t, "worker-invariance", labels, mks, seed, 30, false)
+	}
+}
+
+// TestParallelScatterConcurrency drives the scatter hard enough for the
+// race detector to observe the worker pool: many rounds, several pool
+// sizes, fault churn and hotspots so warm validity windows open and
+// close. Run under -race in CI.
+func TestParallelScatterConcurrency(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+			cfg := DefaultTetrisConfig()
+			cfg.Core = CoreParallel
+			cfg.Workers = workers
+			cfg.HotspotThreshold = 0.8
+			sched := NewTetris(cfg)
+			rng := rand.New(rand.NewSource(int64(workers)))
+			caps := genCaps(rng, 12)
+			jobs := genJobs(rng, 10, 12)
+			arrive := make([]int, len(jobs))
+			for i := range arrive {
+				arrive[i] = rng.Intn(10)
+			}
+			w := newEqWorld(sched, jobs, caps, arrive, int64(workers)+50)
+			for r := 0; r < 60; r++ {
+				w.step(r, true, true)
+			}
+			st, ok := sched.ParallelStats()
+			if !ok {
+				t.Fatal("ParallelStats not available on the parallel core")
+			}
+			if st.Rounds == 0 {
+				t.Fatal("no scatter rounds ran")
+			}
+		})
+	}
+}
+
+// TestParallelStats checks the counters telemetry exposes: they grow
+// with the work done, occupancy stays in [0,1], and the other cores
+// report not-ok.
+func TestParallelStats(t *testing.T) {
+	cfg := DefaultTetrisConfig()
+	cfg.Core = CoreParallel
+	cfg.Workers = 4
+	sched := NewTetris(cfg)
+
+	rng := rand.New(rand.NewSource(21))
+	caps := genCaps(rng, 10)
+	jobs := genJobs(rng, 8, 10)
+	arrive := make([]int, len(jobs))
+	w := newEqWorld(sched, jobs, caps, arrive, 22)
+	for r := 0; r < 30; r++ {
+		w.step(r, false, false)
+	}
+
+	st, ok := sched.ParallelStats()
+	if !ok {
+		t.Fatal("ParallelStats not available on the parallel core")
+	}
+	if st.Rounds == 0 || st.WarmTasks == 0 || st.WarmPairs == 0 {
+		t.Fatalf("scatter counters did not advance: %+v", st)
+	}
+	if st.WarmHits == 0 {
+		t.Fatalf("reduce never consulted a warm entry: %+v", st)
+	}
+	if st.Workers < 1 || st.Workers > 4 {
+		t.Fatalf("resolved workers %d out of range [1,4]", st.Workers)
+	}
+	if st.ScatterNs == 0 || st.BusyNs == 0 {
+		t.Fatalf("scatter timings did not advance: %+v", st)
+	}
+	if occ := st.Occupancy(); occ <= 0 || occ > 1 {
+		t.Fatalf("occupancy %v out of (0,1]", occ)
+	}
+
+	if _, ok := NewTetris(DefaultTetrisConfig()).ParallelStats(); ok {
+		t.Fatal("incremental core reports parallel stats")
+	}
+
+	// Workers=1 bypasses the scatter entirely: the 1-worker benchmark
+	// measures the incremental core plus a nil-check, nothing else.
+	cfg.Workers = 1
+	one := NewTetris(cfg)
+	w1 := newEqWorld(one, jobs, caps, arrive, 22)
+	for r := 0; r < 10; r++ {
+		w1.step(r, false, false)
+	}
+	if st, _ := one.ParallelStats(); st.Rounds != 0 {
+		t.Fatalf("Workers=1 ran %d scatter rounds, want 0 (bypass)", st.Rounds)
+	}
+}

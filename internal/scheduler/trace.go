@@ -15,8 +15,10 @@ import (
 // (a telemetry.Ring of rounds, a per-round decision cap), so they are
 // safe to leave on in production the way the fault log is.
 //
-// Only the incremental core (the default) emits traces; the reference
-// core is a behavioural oracle kept free of instrumentation. When
+// The incremental core (the default) and the parallel core built on
+// its reduce emit traces — bit-identical ones, since the parallel
+// scatter only precomputes what the reduce would; the reference core
+// is a behavioural oracle kept free of instrumentation. When
 // tracing is configured but the round is sampled out, the hot path pays
 // a single nil check — TestTraceSampledOutAllocs pins that at zero
 // allocations so the benchgate holds.

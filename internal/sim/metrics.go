@@ -8,6 +8,7 @@ package sim
 
 import (
 	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/scheduler"
 	"github.com/tetris-sched/tetris/internal/telemetry"
 )
 
@@ -30,6 +31,17 @@ type simMetrics struct {
 	placements    *telemetry.Counter
 	scheduleRound *telemetry.Histogram
 	faultDropped  *telemetry.Gauge
+
+	// Parallel scheduling core, when the configured scheduler runs one:
+	// per-round scatter latency plus pool-size and occupancy gauges,
+	// published from the sim loop right after each Schedule call.
+	parScatter     *telemetry.Histogram
+	schedWorkers   *telemetry.Gauge
+	schedOccupancy *telemetry.Gauge
+
+	// Previous cumulative parallel-core counters, for per-round deltas.
+	prevScatterNs     uint64
+	prevScatterRounds uint64
 }
 
 func newSimMetrics(reg *telemetry.Registry) *simMetrics {
@@ -44,6 +56,10 @@ func newSimMetrics(reg *telemetry.Registry) *simMetrics {
 		placements:    reg.Counter("tetris_sim_placements_total", "Task placements made by the scheduler under simulation."),
 		scheduleRound: reg.Histogram("tetris_sim_schedule_round_seconds", "Wall-clock latency of one simulated scheduling round."),
 		faultDropped:  reg.Gauge("tetris_sim_fault_log_dropped", "Fault-log records evicted from the bounded ring."),
+
+		parScatter:     reg.Histogram("tetris_sim_parallel_scatter_seconds", "Scatter-phase wall time of one parallel-core scheduling round."),
+		schedWorkers:   reg.Gauge("tetris_sim_sched_workers", "Resolved worker-pool size of the parallel scheduling core."),
+		schedOccupancy: reg.Gauge("tetris_sim_sched_worker_occupancy", "Mean scatter-phase worker occupancy of the parallel scheduling core."),
 	}
 	const (
 		utilHelp   = "Cluster utilization as a fraction of capacity, per resource."
@@ -54,6 +70,29 @@ func newSimMetrics(reg *telemetry.Registry) *simMetrics {
 		m.demand[k] = reg.Gauge(telemetry.Label("tetris_sim_demand", "resource", k.String()), demandHelp)
 	}
 	return m
+}
+
+// observeParallel publishes the parallel scheduling core's counters
+// after one Schedule call: this round's scatter wall time (the delta of
+// the cumulative counter) plus the pool-size and occupancy gauges.
+// No-op for schedulers without a parallel core or rounds that ran no
+// scatter.
+func (m *simMetrics) observeParallel(sched scheduler.Scheduler) {
+	p, ok := sched.(interface {
+		ParallelStats() (scheduler.ParallelStats, bool)
+	})
+	if !ok {
+		return
+	}
+	ps, ok := p.ParallelStats()
+	if !ok || ps.Rounds <= m.prevScatterRounds {
+		return
+	}
+	m.parScatter.Observe(float64(ps.ScatterNs-m.prevScatterNs) / 1e9)
+	m.prevScatterNs = ps.ScatterNs
+	m.prevScatterRounds = ps.Rounds
+	m.schedWorkers.Set(float64(ps.Workers))
+	m.schedOccupancy.Set(ps.Occupancy())
 }
 
 // observeSample publishes the cluster-level gauges for one sampling

@@ -484,6 +484,7 @@ func (s *Sim) schedule() {
 	t0 := time.Now()
 	asgs := s.cfg.Scheduler.Schedule(v)
 	s.metrics.scheduleRound.Observe(time.Since(t0).Seconds())
+	s.metrics.observeParallel(s.cfg.Scheduler)
 	s.metrics.placements.Add(uint64(len(asgs)))
 	for _, a := range asgs {
 		s.start(a)
