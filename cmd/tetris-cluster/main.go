@@ -46,6 +46,8 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, JSON /debug/status and /debug/trace, and pprof on this address (empty = off)")
 
+		deltaBeats = flag.Bool("delta-heartbeats", false, "NMs send delta availability reports when usage is unchanged since the last acked beat")
+
 		coreName = flag.String("core", "incremental", "tetris schedule core: incremental | reference | parallel")
 		workers  = flag.Int("sched-workers", 0, "parallel core pool size (0 = GOMAXPROCS; needs -core=parallel)")
 	)
@@ -120,12 +122,13 @@ func main() {
 	var nmWG sync.WaitGroup
 	runNM := func(nodeCtx context.Context, id int) {
 		node := nm.New(nm.Config{
-			NodeID:      id,
-			Capacity:    capVec,
-			RMAddr:      srv.Addr(),
-			Compression: *compression,
-			Logger:      logger,
-			Metrics:     reg,
+			NodeID:          id,
+			Capacity:        capVec,
+			RMAddr:          srv.Addr(),
+			Compression:     *compression,
+			Logger:          logger,
+			Metrics:         reg,
+			DeltaHeartbeats: *deltaBeats,
 		})
 		nmWG.Add(1)
 		go func() {

@@ -1,0 +1,269 @@
+// tetris-hollow is the Kubemark-style scale harness: it boots one real
+// resource manager in-process and points a hollow-node fleet
+// (internal/hollow) plus a hollow job-manager pool at it — thousands of
+// protocol-faithful NMs and hundreds of AMs multiplexed over a handful
+// of TCP connections, with synthetic task execution so the process cost
+// scales with heartbeats, not tasks.
+//
+// The run ends when every job finishes or -duration elapses, whichever
+// comes first, and always writes a versioned BENCH_scale_<scenario>.json
+// snapshot (internal/bench schema) with the scale trajectory's core
+// metrics: scheduling rounds/sec, NM heartbeat RTT p50/p99, wire bytes
+// per node per second, and process CPU per node. Gate it in CI with:
+//
+//	benchgate -check BENCH_scale_smoke.json -require rounds_per_sec,...
+//
+// Examples:
+//
+//	tetris-hollow -nodes 1000 -jobs 12 -duration 60s -scenario smoke
+//	tetris-hollow -nodes 5000 -conns 16 -heartbeat 2s -duration 120s -scenario 5k
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	tetris "github.com/tetris-sched/tetris"
+	"github.com/tetris-sched/tetris/internal/bench"
+	"github.com/tetris-sched/tetris/internal/faults"
+	"github.com/tetris-sched/tetris/internal/hollow"
+	"github.com/tetris-sched/tetris/internal/rm"
+	"github.com/tetris-sched/tetris/internal/telemetry"
+	"github.com/tetris-sched/tetris/internal/trace"
+)
+
+func main() {
+	var (
+		nodes       = flag.Int("nodes", 1000, "hollow node managers to multiplex")
+		conns       = flag.Int("conns", 0, "TCP connections the fleet shares (0 = one per 512 nodes)")
+		ams         = flag.Int("ams", 0, "hollow job managers (0 = one per 16 jobs)")
+		jobs        = flag.Int("jobs", 12, "jobs to generate and submit")
+		taskCap     = flag.Int("task-cap", 60, "truncate generated stages to this many tasks (0 = keep full §5.1 sizes)")
+		duration    = flag.Duration("duration", 60*time.Second, "hard wall-clock budget for the run")
+		heartbeat   = flag.Duration("heartbeat", time.Second, "per-node heartbeat interval")
+		poll        = flag.Duration("poll", 500*time.Millisecond, "per-job AM progress poll interval")
+		compression = flag.Float64("compression", 50, "time compression for synthetic task durations and job arrivals")
+		seed        = flag.Int64("seed", 1, "seed for workload, fault plan, stagger and sampling")
+		delta       = flag.Bool("delta", true, "send delta availability reports (unchanged usage omitted from heartbeats)")
+		scenario    = flag.String("scenario", "smoke", "scenario name; output file is BENCH_scale_<scenario>.json")
+		outDir      = flag.String("out", ".", "directory for the BENCH snapshot")
+		nodeTimeout = flag.Duration("node-timeout", 10*time.Second, "RM failure-detector heartbeat silence threshold (0 = off)")
+		crashFrac   = flag.Float64("crash-frac", 0, "fraction of nodes that crash once mid-run (fault-plan churn; needs -node-timeout)")
+		coreName    = flag.String("core", "incremental", "tetris schedule core: incremental | reference | parallel")
+		verbose     = flag.Bool("v", false, "verbose RM/fleet logging")
+	)
+	flag.Parse()
+	if *crashFrac > 0 && *nodeTimeout <= 0 {
+		log.Fatal("-crash-frac needs -node-timeout: without a detector, crashed hollow nodes stay allocated forever")
+	}
+
+	var logger *log.Logger
+	if *verbose {
+		logger = log.New(os.Stderr, "", log.Lmicroseconds)
+	}
+	reg := telemetry.NewRegistry()
+	schedCfg := tetris.DefaultConfig()
+	switch *coreName {
+	case "incremental":
+		schedCfg.Core = tetris.CoreIncremental
+	case "reference":
+		schedCfg.Core = tetris.CoreReference
+	case "parallel":
+		schedCfg.Core = tetris.CoreParallel
+	default:
+		log.Fatalf("unknown core %q (want incremental, reference or parallel)", *coreName)
+	}
+	srv, err := rm.New("127.0.0.1:0", rm.Config{
+		Scheduler:       tetris.NewScheduler(schedCfg),
+		Estimator:       tetris.NewEstimator(),
+		NodeTimeout:     *nodeTimeout,
+		MaxTaskAttempts: 4,
+		Metrics:         reg,
+		Logger:          logger,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("tetris-hollow: RM on %s, %d hollow nodes, %d jobs, %v budget\n",
+		srv.Addr(), *nodes, *jobs, *duration)
+
+	var plan *faults.Plan
+	if *crashFrac > 0 {
+		plan = faults.Generate(faults.PlanConfig{
+			Seed:          *seed,
+			Machines:      *nodes,
+			Horizon:       duration.Seconds(),
+			CrashFraction: *crashFrac,
+			MeanDowntime:  duration.Seconds() / 6,
+		})
+		fmt.Printf("tetris-hollow: fault plan injects %d crashes\n", plan.Crashes())
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	runCtx, expire := context.WithTimeout(ctx, *duration)
+	defer expire()
+
+	fleet, err := hollow.New(hollow.Config{
+		RMAddr:          srv.Addr(),
+		Nodes:           *nodes,
+		Conns:           *conns,
+		Heartbeat:       *heartbeat,
+		Compression:     *compression,
+		Seed:            *seed,
+		DeltaHeartbeats: *delta,
+		Plan:            plan,
+		Logger:          logger,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	wl := trace.GenerateSuite(trace.Config{
+		Seed:        *seed,
+		NumJobs:     *jobs,
+		NumMachines: *nodes,
+	})
+	if *taskCap > 0 {
+		for _, j := range wl.Jobs {
+			for _, st := range j.Stages {
+				if len(st.Tasks) > *taskCap {
+					st.Tasks = st.Tasks[:*taskCap]
+				}
+			}
+		}
+	}
+
+	start := time.Now()
+	cpu0 := processCPU()
+	fleetDone := make(chan struct{})
+	go func() {
+		defer close(fleetDone)
+		fleet.Run(runCtx)
+	}()
+
+	amRep := hollow.RunAMs(runCtx, hollow.AMConfig{
+		RMAddr:    srv.Addr(),
+		Jobs:      wl.Jobs,
+		AMs:       *ams,
+		Poll:      *poll,
+		TimeScale: *compression,
+		Seed:      *seed,
+		Logger:    logger,
+	})
+	// Jobs are done (or the budget expired); stop the fleet and measure.
+	expire()
+	<-fleetDone
+	elapsed := time.Since(start).Seconds()
+	cpuSec := processCPU() - cpu0
+	fr := fleet.Report()
+
+	rounds := reg.Histogram("tetris_rm_schedule_round_seconds", "").Count()
+	roundSec := reg.Histogram("tetris_rm_schedule_round_seconds", "").Sum()
+	nmHB := reg.Histogram("tetris_rm_nm_heartbeat_seconds", "")
+
+	snap := &bench.Snapshot{
+		Schema:   bench.SchemaVersion,
+		Kind:     "hollow-scale",
+		Scenario: *scenario,
+		Unix:     time.Now().Unix(),
+		Config: map[string]string{
+			"nodes":       strconv.Itoa(*nodes),
+			"conns":       strconv.Itoa(resolvedConns(*conns, *nodes)),
+			"jobs":        strconv.Itoa(*jobs),
+			"heartbeat":   heartbeat.String(),
+			"poll":        poll.String(),
+			"compression": strconv.FormatFloat(*compression, 'g', -1, 64),
+			"seed":        strconv.FormatInt(*seed, 10),
+			"delta":       strconv.FormatBool(*delta),
+			"core":        *coreName,
+			"crash_frac":  strconv.FormatFloat(*crashFrac, 'g', -1, 64),
+			"duration":    duration.String(),
+		},
+		Metrics: map[string]float64{
+			"elapsed_seconds":                elapsed,
+			"nodes":                          float64(*nodes),
+			"rounds_per_sec":                 float64(rounds) / elapsed,
+			"schedule_round_mean_seconds":    safeDiv(roundSec, float64(rounds)),
+			"heartbeat_p50_seconds":          fr.RTTp50,
+			"heartbeat_p99_seconds":          fr.RTTp99,
+			"heartbeat_rtt_samples":          float64(fr.RTTSamples),
+			"beats_per_sec":                  float64(fr.Beats) / elapsed,
+			"delta_beats_total":              float64(fr.DeltaBeats),
+			"delta_beat_fraction":            safeDiv(float64(fr.DeltaBeats), float64(fr.Beats)),
+			"wire_bytes_per_node_per_sec":    float64(fr.BytesSent+fr.BytesRecv) / float64(*nodes) / elapsed,
+			"process_cpu_seconds_per_sec":    cpuSec / elapsed,
+			"cpu_seconds_per_node_per_sec":   cpuSec / float64(*nodes) / elapsed,
+			"rm_nm_heartbeat_handle_seconds": nmHB.Mean(),
+			"registers_total":                float64(fr.Registers),
+			"redials_total":                  float64(fr.Redials),
+			"crash_windows_total":            float64(fr.Crashes),
+			"tasks_launched_total":           float64(fr.TasksLaunched),
+			"tasks_completed_total":          float64(fr.TasksCompleted),
+			"jobs_submitted":                 float64(amRep.Submitted),
+			"jobs_finished":                  float64(amRep.Finished),
+			"jobs_failed":                    float64(amRep.Failed),
+		},
+	}
+	out := *outDir + "/BENCH_scale_" + *scenario + ".json"
+	if err := snap.WriteFile(out); err != nil {
+		log.Fatalf("tetris-hollow: %v", err)
+	}
+
+	fmt.Printf("tetris-hollow: %s in %.1fs — %d/%d jobs finished, %d tasks completed\n",
+		*scenario, elapsed, amRep.Finished, amRep.Submitted, fr.TasksCompleted)
+	fmt.Printf("  rounds/sec          %.1f (mean round %.3fms)\n",
+		float64(rounds)/elapsed, 1e3*safeDiv(roundSec, float64(rounds)))
+	fmt.Printf("  heartbeat RTT       p50 %.3fms  p99 %.3fms  (%d samples)\n",
+		fr.RTTp50*1e3, fr.RTTp99*1e3, fr.RTTSamples)
+	fmt.Printf("  wire bytes/node/sec %.0f (delta beats %.0f%%)\n",
+		float64(fr.BytesSent+fr.BytesRecv)/float64(*nodes)/elapsed,
+		100*safeDiv(float64(fr.DeltaBeats), float64(fr.Beats)))
+	fmt.Printf("  process CPU         %.2fs (%.4fms per node per sec)\n",
+		cpuSec, 1e3*cpuSec/float64(*nodes)/elapsed)
+	fmt.Printf("  snapshot            %s\n", out)
+	if err := srv.VerifyLedger(); err != nil {
+		log.Fatalf("tetris-hollow: ledger check failed: %v", err)
+	}
+	fmt.Println("  ledger              balanced")
+	if amRep.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// processCPU returns the process's cumulative user+system CPU seconds.
+func processCPU() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	sec := func(tv syscall.Timeval) float64 { return float64(tv.Sec) + float64(tv.Usec)/1e6 }
+	return sec(ru.Utime) + sec(ru.Stime)
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// resolvedConns mirrors hollow.New's connection-count default so the
+// snapshot's config records the resolved value.
+func resolvedConns(conns, nodes int) int {
+	if conns <= 0 {
+		conns = (nodes + 511) / 512
+	}
+	if conns > nodes {
+		conns = nodes
+	}
+	return conns
+}

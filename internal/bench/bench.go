@@ -1,0 +1,117 @@
+// Package bench defines the machine-readable BENCH_*.json snapshot
+// format shared by the hollow-node scale harness (cmd/tetris-hollow)
+// and the CI benchmark gate (scripts/benchgate). A snapshot is one
+// flat, versioned record of a performance run: what was run (Kind,
+// Scenario, Config) and what was measured (Metrics). Keeping the
+// schema in one place lets CI archive snapshots as artifacts and lets
+// benchgate validate them without knowing which tool produced them.
+//
+// The schema is deliberately flat — Metrics is a string→float64 map —
+// so trajectory tooling can diff any two snapshots field by field
+// without per-kind parsing. Schema changes bump SchemaVersion;
+// consumers reject snapshots from a different major version rather
+// than misreading them.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SchemaVersion is the current snapshot schema. Readers reject other
+// versions.
+const SchemaVersion = 1
+
+// Snapshot is one performance record.
+type Snapshot struct {
+	// Schema is the snapshot format version (SchemaVersion).
+	Schema int `json:"schema"`
+	// Kind names the producing harness, e.g. "hollow-scale" or
+	// "micro-bench".
+	Kind string `json:"kind"`
+	// Scenario distinguishes runs of the same kind, e.g. "smoke" or
+	// "5k-nodes". It becomes part of the file name: BENCH_<kind
+	// prefix>_<scenario>.json.
+	Scenario string `json:"scenario"`
+	// Unix is the run's completion time in seconds since the epoch.
+	// Informational only — trajectory diffs key on Kind+Scenario.
+	Unix int64 `json:"unix,omitempty"`
+	// Config records the knobs that shaped the run (node counts,
+	// durations, seeds), as strings so the schema stays flat.
+	Config map[string]string `json:"config,omitempty"`
+	// Metrics holds the measurements. Keys are snake_case with the unit
+	// suffixed, e.g. "heartbeat_p99_seconds", "rounds_per_sec".
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Validate checks structural sanity plus the presence of the required
+// metric keys. A required metric that is missing, NaN, infinite, or
+// exactly zero fails — a zero in a rate or latency field means the
+// harness never measured it, not that the system was infinitely fast.
+func (s *Snapshot) Validate(required ...string) error {
+	if s.Schema != SchemaVersion {
+		return fmt.Errorf("bench: snapshot schema %d, want %d", s.Schema, SchemaVersion)
+	}
+	if s.Kind == "" {
+		return fmt.Errorf("bench: snapshot has no kind")
+	}
+	if s.Scenario == "" {
+		return fmt.Errorf("bench: snapshot has no scenario")
+	}
+	var bad []string
+	for _, key := range required {
+		v, ok := s.Metrics[key]
+		if !ok || v == 0 || v != v || v > 1e300 || v < -1e300 {
+			bad = append(bad, fmt.Sprintf("%s=%v(present=%v)", key, v, ok))
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return fmt.Errorf("bench: required metrics missing or zero: %v", bad)
+	}
+	return nil
+}
+
+// WriteFile atomically writes the snapshot as indented JSON: the
+// bytes land in path+".tmp" first and rename into place, so a reader
+// (or an interrupted run) never sees a torn file.
+func (s *Snapshot) WriteFile(path string) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal snapshot: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// ReadFile loads and structurally validates a snapshot (schema version
+// and identity fields; metric requirements are the caller's, via
+// Validate).
+func ReadFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", filepath.Base(path), err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", filepath.Base(path), err)
+	}
+	return &s, nil
+}

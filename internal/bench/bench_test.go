@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *Snapshot {
+	return &Snapshot{
+		Schema:   SchemaVersion,
+		Kind:     "hollow-scale",
+		Scenario: "smoke",
+		Unix:     1700000000,
+		Config:   map[string]string{"nodes": "1000", "seed": "42"},
+		Metrics: map[string]float64{
+			"rounds_per_sec":        12.5,
+			"heartbeat_p50_seconds": 0.002,
+			"heartbeat_p99_seconds": 0.011,
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_scale_smoke.json")
+	want := sample()
+	if err := want.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != want.Kind || got.Scenario != want.Scenario || got.Unix != want.Unix {
+		t.Errorf("identity fields drifted: got %+v", got)
+	}
+	if len(got.Metrics) != len(want.Metrics) {
+		t.Errorf("metrics drifted: got %v", got.Metrics)
+	}
+	for k, v := range want.Metrics {
+		if got.Metrics[k] != v {
+			t.Errorf("metric %s = %v, want %v", k, got.Metrics[k], v)
+		}
+	}
+}
+
+func TestValidateRequired(t *testing.T) {
+	s := sample()
+	if err := s.Validate("rounds_per_sec", "heartbeat_p99_seconds"); err != nil {
+		t.Errorf("valid snapshot rejected: %v", err)
+	}
+	if err := s.Validate("wire_bytes_per_node_per_sec"); err == nil {
+		t.Error("missing required metric accepted")
+	}
+	s.Metrics["rounds_per_sec"] = 0
+	if err := s.Validate("rounds_per_sec"); err == nil {
+		t.Error("zero required metric accepted")
+	}
+	s.Metrics["rounds_per_sec"] = math.NaN()
+	if err := s.Validate("rounds_per_sec"); err == nil {
+		t.Error("NaN required metric accepted")
+	}
+}
+
+func TestValidateIdentity(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Snapshot)
+		want   string
+	}{
+		{"wrong schema", func(s *Snapshot) { s.Schema = SchemaVersion + 1 }, "schema"},
+		{"no kind", func(s *Snapshot) { s.Kind = "" }, "kind"},
+		{"no scenario", func(s *Snapshot) { s.Scenario = "" }, "scenario"},
+	} {
+		s := sample()
+		tc.mutate(s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestReadFileRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	garbage := filepath.Join(dir, "garbage.json")
+	os.WriteFile(garbage, []byte("{not json"), 0o644)
+	if _, err := ReadFile(garbage); err == nil {
+		t.Error("garbage JSON accepted")
+	}
+	wrongSchema := filepath.Join(dir, "old.json")
+	os.WriteFile(wrongSchema, []byte(`{"schema":99,"kind":"x","scenario":"y","metrics":{}}`), 0o644)
+	if _, err := ReadFile(wrongSchema); err == nil {
+		t.Error("wrong schema version accepted")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestWriteFileRefusesInvalid(t *testing.T) {
+	s := sample()
+	s.Scenario = ""
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := s.WriteFile(path); err == nil {
+		t.Error("invalid snapshot written")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("file created for invalid snapshot")
+	}
+}

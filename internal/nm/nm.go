@@ -47,6 +47,12 @@ type Config struct {
 	// consecutive reconnect attempts (the faults.Backoff max-elapsed
 	// cutoff). Zero means no time cap — only MaxReconnects applies.
 	ReconnectWindow time.Duration
+	// DeltaHeartbeats sends delta availability reports: Used/Allocated
+	// are omitted from a heartbeat when unchanged since the last
+	// acknowledged beat (wire.DeltaTracker), shrinking steady-state
+	// heartbeat frames. Full reports resume automatically on reconnect
+	// and whenever the RM requests one (NMReply.FullReport).
+	DeltaHeartbeats bool
 	// Metrics receives the node's telemetry (heartbeat RTTs, reconnect
 	// attempts, task lifecycle counters). Several NMs sharing one
 	// registry — the loopback cluster — aggregate into shared series.
@@ -64,6 +70,7 @@ type nmMetrics struct {
 	launched   *telemetry.Counter
 	completed  *telemetry.Counter
 	killed     *telemetry.Counter
+	deltaBeats *telemetry.Counter
 	running    *telemetry.Gauge
 }
 
@@ -78,6 +85,7 @@ func newNMMetrics(reg *telemetry.Registry) *nmMetrics {
 		launched:   reg.Counter("tetris_nm_tasks_launched_total", "Task attempts started on this process's nodes."),
 		completed:  reg.Counter("tetris_nm_tasks_completed_total", "Task attempts finished and reported."),
 		killed:     reg.Counter("tetris_nm_orphans_killed_total", "Orphaned attempts killed on RM instruction."),
+		deltaBeats: reg.Counter("tetris_nm_delta_heartbeats_total", "Heartbeats sent as delta availability reports."),
 		running:    reg.Gauge("tetris_nm_tasks_running", "Task attempts currently executing."),
 	}
 }
@@ -254,6 +262,11 @@ func (n *Node) session(ctx context.Context) (registered bool, err error) {
 	n.metrics.registered.Inc()
 	n.log.Printf("nm %d: registered with %s", n.cfg.NodeID, n.cfg.RMAddr)
 
+	// A session-local tracker: the zero value has no baseline, so the
+	// session's first heartbeat is always a full report — the RM may
+	// have restarted (or processed an earlier beat we never saw the
+	// reply to) since the last session.
+	var delta wire.DeltaTracker
 	ticker := time.NewTicker(n.cfg.Heartbeat)
 	defer ticker.Stop()
 	for {
@@ -274,6 +287,11 @@ func (n *Node) session(ctx context.Context) (registered bool, err error) {
 			Allocated: rep.Allocated,
 			Completed: done,
 		}
+		if n.cfg.DeltaHeartbeats {
+			if full := delta.Mark(hb); !full {
+				n.metrics.deltaBeats.Inc()
+			}
+		}
 		hbT0 := time.Now()
 		if err := wire.Write(conn, &wire.Message{Type: wire.TypeNMHeartbeat, NMHeartbeat: hb}); err != nil {
 			n.requeue(done)
@@ -289,6 +307,9 @@ func (n *Node) session(ctx context.Context) (registered bool, err error) {
 			// E.g. "unregistered node" from an RM that restarted and lost
 			// state: reconnecting re-registers, so it is retryable.
 			return true, fmt.Errorf("nm %d: rm error: %s", n.cfg.NodeID, reply.Error)
+		}
+		if n.cfg.DeltaHeartbeats {
+			delta.Ack(reply.NMReply)
 		}
 		if reply.NMReply != nil {
 			n.handleKills(reply.NMReply.Kill)

@@ -1,0 +1,330 @@
+package rm
+
+// Differential proof of the delta-heartbeat protocol: an identical,
+// deterministic workload is driven through two live RMs — one fed full
+// availability reports every beat, one fed wire.DeltaTracker-compressed
+// beats — and every reply and the complete allocation ledgers (machine
+// Allocated/Reported, job Alloc, launch records, remote charges, task
+// status) must stay bit-identical throughout. Delta reports are a pure
+// wire-size optimization; any behavioural difference is a bug.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/tetris-sched/tetris/internal/estimator"
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/scheduler"
+	"github.com/tetris-sched/tetris/internal/trace"
+	"github.com/tetris-sched/tetris/internal/wire"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// emuNode replays a node manager's heartbeat state machine in-process:
+// launches run for a deterministic number of beats, then complete with
+// their declared usage. One emuNode instance drives one RM; the full-
+// and delta-mode instances receive identical reply sequences (asserted
+// below), so they evolve in lockstep.
+type emuNode struct {
+	id      int
+	cap     resources.Vector
+	delta   bool
+	tracker wire.DeltaTracker
+	running map[workload.TaskID]wire.TaskLaunch
+	beatsIn map[workload.TaskID]int // beats left until completion
+}
+
+func newEmuNode(id int, capacity resources.Vector, delta bool) *emuNode {
+	return &emuNode{
+		id: id, cap: capacity, delta: delta,
+		running: make(map[workload.TaskID]wire.TaskLaunch),
+		beatsIn: make(map[workload.TaskID]int),
+	}
+}
+
+func (n *emuNode) sortedRunning() []workload.TaskID {
+	ids := make([]workload.TaskID, 0, len(n.running))
+	for tid := range n.running {
+		ids = append(ids, tid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return taskIDLess(ids[i], ids[j]) })
+	return ids
+}
+
+// usage returns the node's report: every running task occupies exactly
+// its declared demand. Summed in sorted task order — float addition is
+// not associative, and the full- and delta-mode emulators must feed
+// their RMs bit-identical vectors.
+func (n *emuNode) usage() resources.Vector {
+	var u resources.Vector
+	for _, tid := range n.sortedRunning() {
+		u = u.Add(n.running[tid].Demand)
+	}
+	return u
+}
+
+// beat performs one heartbeat exchange against s and applies the reply.
+func (n *emuNode) beat(t *testing.T, s *Server) *wire.Message {
+	t.Helper()
+	var done []wire.TaskCompletion
+	for _, tid := range n.sortedRunning() {
+		n.beatsIn[tid]--
+		if n.beatsIn[tid] <= 0 {
+			l := n.running[tid]
+			done = append(done, wire.TaskCompletion{Task: tid, Usage: l.Demand, Duration: l.Duration})
+			delete(n.running, tid)
+			delete(n.beatsIn, tid)
+		}
+	}
+	u := n.usage()
+	hb := &wire.NMHeartbeat{NodeID: n.id, Used: u, Allocated: u, Completed: done}
+	if n.delta {
+		n.tracker.Mark(hb)
+	}
+	reply := s.HandleNMHeartbeat(hb)
+	if reply.Type == wire.TypeError {
+		t.Fatalf("node %d heartbeat rejected: %s", n.id, reply.Error)
+	}
+	if n.delta {
+		n.tracker.Ack(reply.NMReply)
+	}
+	n.apply(reply.NMReply)
+	return reply
+}
+
+// register (re-)registers the node carrying its current truth, as a
+// reconnecting NM would, and resets the delta baseline like a real
+// session boundary does.
+func (n *emuNode) register(t *testing.T, s *Server) *wire.Message {
+	t.Helper()
+	reply := s.handleRegisterNM(&wire.RegisterNM{
+		NodeID: n.id, Capacity: n.cap, Running: n.sortedRunning(),
+	})
+	if reply.Type == wire.TypeError {
+		t.Fatalf("node %d registration rejected: %s", n.id, reply.Error)
+	}
+	n.tracker.Reset()
+	n.apply(reply.NMReply)
+	return reply
+}
+
+func (n *emuNode) apply(r *wire.NMReply) {
+	if r == nil {
+		return
+	}
+	for _, tid := range r.Kill {
+		delete(n.running, tid)
+		delete(n.beatsIn, tid)
+	}
+	for _, l := range r.Launch {
+		n.running[l.Task] = l
+		// Deterministic emulated runtime: 1–3 beats, varied by task
+		// identity so stages drain unevenly.
+		n.beatsIn[l.Task] = 1 + (l.Task.Index+l.Task.Stage)%3
+	}
+}
+
+// ledgerDigest canonically encodes the RM state the delta protocol
+// could corrupt: machine ledgers (including the soft Reported view the
+// scheduler packs against), job ledgers, launch records with remote
+// charges and epochs, and task status. Float64s are encoded as exact
+// bits — the equivalence claimed is bit-identity, not closeness.
+// Journal/event times are deliberately excluded: the two servers run at
+// different wall clocks by construction.
+func ledgerDigest(s *Server) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b bytes.Buffer
+	vec := func(v resources.Vector) {
+		for k := 0; k < int(resources.NumKinds); k++ {
+			fmt.Fprintf(&b, "%016x,", math.Float64bits(v.Get(resources.Kind(k))))
+		}
+	}
+	mids := make([]int, 0, len(s.machines))
+	for id := range s.machines {
+		mids = append(mids, id)
+	}
+	sort.Ints(mids)
+	for _, id := range mids {
+		m := s.machines[id]
+		fmt.Fprintf(&b, "m%d down=%v epoch=%d ", id, m.Down, s.epochs[id])
+		vec(m.Capacity)
+		vec(m.Allocated)
+		vec(m.Reported)
+		fmt.Fprintf(&b, "needFull=%v\n", s.needFull[id])
+	}
+	for _, jobID := range s.jobIDs() {
+		ji := s.jobs[jobID]
+		fmt.Fprintf(&b, "j%d finished=%v failed=%v ", jobID, ji.finished, ji.failed)
+		vec(ji.state.Alloc)
+		fmt.Fprintf(&b, "done=%d\n", ji.state.Status.DoneTasks())
+		for _, tid := range launchedIDs(ji, -1) {
+			rec := ji.launched[tid]
+			fmt.Fprintf(&b, "  %v@%d ", tid, rec.machine)
+			vec(rec.local)
+			for _, rc := range rec.remote {
+				fmt.Fprintf(&b, " r%d/e%d ", rc.machine, rc.epoch)
+				vec(rc.charge)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.Bytes()
+}
+
+func replyJSON(t *testing.T, m *wire.Message) string {
+	t.Helper()
+	j, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(j)
+}
+
+func TestDeltaHeartbeatLedgerEquivalence(t *testing.T) {
+	newSrv := func() *Server {
+		s, err := New("127.0.0.1:0", Config{
+			Scheduler: scheduler.NewTetris(scheduler.DefaultTetrisConfig()),
+			Estimator: estimator.New(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	full, compressed := newSrv(), newSrv()
+
+	const nodes = 6
+	caps := make([]resources.Vector, nodes)
+	fullNodes := make([]*emuNode, nodes)
+	deltaNodes := make([]*emuNode, nodes)
+	for i := 0; i < nodes; i++ {
+		// Heterogeneous capacities so packing decisions are non-trivial.
+		caps[i] = resources.New(16+float64(i%3)*8, 32+float64(i%2)*32, 200, 200, 1000, 1000)
+		fullNodes[i] = newEmuNode(i, caps[i], false)
+		deltaNodes[i] = newEmuNode(i, caps[i], true)
+		ra := fullNodes[i].register(t, full)
+		rb := deltaNodes[i].register(t, compressed)
+		if a, b := replyJSON(t, ra), replyJSON(t, rb); a != b {
+			t.Fatalf("register reply divergence at node %d:\n full: %s\ndelta: %s", i, a, b)
+		}
+	}
+
+	// A seeded workload with diverse multi-resource demands; shrunk so
+	// the run completes within a few hundred beats.
+	wl := trace.GenerateSuite(trace.Config{Seed: 7, NumJobs: 8, NumMachines: nodes})
+	for _, j := range wl.Jobs {
+		for _, st := range j.Stages {
+			if len(st.Tasks) > 12 {
+				st.Tasks = st.Tasks[:12]
+			}
+		}
+	}
+
+	submit := func(s *Server, j *workload.Job) {
+		if err := s.SubmitJob(j); err != nil {
+			t.Fatalf("submit job %d: %v", j.ID, err)
+		}
+	}
+
+	deltaSent := 0
+	const rounds = 120
+	for r := 0; r < rounds; r++ {
+		// Staggered arrivals: one job every 4 rounds.
+		if r%4 == 0 && r/4 < len(wl.Jobs) {
+			submit(full, wl.Jobs[r/4])
+			submit(compressed, wl.Jobs[r/4])
+		}
+		// Mid-run link blip: node 2 re-registers with its running set,
+		// exercising resync reconciliation plus the delta baseline
+		// reset and the RM's FullReport request path.
+		if r == 37 || r == 73 {
+			ra := fullNodes[2].register(t, full)
+			rb := deltaNodes[2].register(t, compressed)
+			if a, b := replyJSON(t, ra), replyJSON(t, rb); a != b {
+				t.Fatalf("round %d re-register reply divergence:\n full: %s\ndelta: %s", r, a, b)
+			}
+		}
+		for i := 0; i < nodes; i++ {
+			ra := fullNodes[i].beat(t, full)
+			rb := deltaNodes[i].beat(t, compressed)
+			if a, b := replyJSON(t, ra), replyJSON(t, rb); a != b {
+				t.Fatalf("round %d node %d reply divergence:\n full: %s\ndelta: %s", r, i, a, b)
+			}
+		}
+		if da, db := ledgerDigest(full), ledgerDigest(compressed); !bytes.Equal(da, db) {
+			la, lb := bytes.Split(da, []byte("\n")), bytes.Split(db, []byte("\n"))
+			for i := 0; i < len(la) && i < len(lb); i++ {
+				if !bytes.Equal(la[i], lb[i]) {
+					t.Fatalf("round %d ledger divergence at line %d:\n full: %s\ndelta: %s", r, i, la[i], lb[i])
+				}
+			}
+			t.Fatalf("round %d ledger divergence: %d vs %d lines", r, len(la), len(lb))
+		}
+		if err := full.VerifyLedger(); err != nil {
+			t.Fatalf("round %d full-mode ledger drift: %v", r, err)
+		}
+		if err := compressed.VerifyLedger(); err != nil {
+			t.Fatalf("round %d delta-mode ledger drift: %v", r, err)
+		}
+	}
+	deltaSent = int(compressed.metrics.deltaBeats.Value())
+	if deltaSent == 0 {
+		t.Fatal("delta mode never actually compressed a heartbeat — the test proved nothing")
+	}
+	if fullSent := int(full.metrics.deltaBeats.Value()); fullSent != 0 {
+		t.Fatalf("full mode recorded %d delta beats", fullSent)
+	}
+	t.Logf("equivalent over %d rounds × %d nodes; %d/%d beats compressed",
+		rounds, nodes, deltaSent, rounds*nodes)
+}
+
+// TestDeltaFullReportAfterReset proves the RM refuses to let a delta
+// beat pin a stale baseline across its view resets: a freshly
+// registered node and a dead-then-rejoining node both get FullReport
+// until they send a full beat.
+func TestDeltaFullReportAfterReset(t *testing.T) {
+	s := newServer(t)
+	capV := resources.New(16, 32, 200, 200, 1000, 1000)
+	s.RegisterMachine(0, capV)
+
+	// A delta beat straight after registration: the RM has no baseline,
+	// must ask for a full report, and must not invent a Reported value.
+	reply := s.HandleNMHeartbeat(&wire.NMHeartbeat{NodeID: 0, Delta: true})
+	if reply.Type == wire.TypeError {
+		t.Fatalf("delta beat rejected: %s", reply.Error)
+	}
+	if !reply.NMReply.FullReport {
+		t.Fatal("no FullReport after registration reset the RM's view")
+	}
+
+	// The full beat re-baselines and clears the request.
+	u := resources.New(4, 8, 0, 0, 0, 0)
+	reply = s.HandleNMHeartbeat(&wire.NMHeartbeat{NodeID: 0, Used: u, Allocated: u})
+	if reply.NMReply.FullReport {
+		t.Fatal("FullReport still set after a full beat")
+	}
+	s.mu.Lock()
+	got := s.machines[0].Reported
+	s.mu.Unlock()
+	if got != u {
+		t.Fatalf("Reported = %v, want %v", got, u)
+	}
+
+	// Steady-state delta beats keep the view and draw no FullReport.
+	reply = s.HandleNMHeartbeat(&wire.NMHeartbeat{NodeID: 0, Delta: true})
+	if reply.NMReply.FullReport {
+		t.Fatal("FullReport on a steady-state delta beat")
+	}
+	s.mu.Lock()
+	got = s.machines[0].Reported
+	s.mu.Unlock()
+	if got != u {
+		t.Fatalf("delta beat moved Reported to %v, want %v", got, u)
+	}
+}

@@ -29,6 +29,7 @@ type rmMetrics struct {
 	rejoins       *telemetry.Counter
 	orphansKilled *telemetry.Counter
 	lostRequeued  *telemetry.Counter
+	deltaBeats    *telemetry.Counter
 
 	scheduleRound *telemetry.Histogram
 	nmHeartbeat   *telemetry.Histogram
@@ -63,6 +64,7 @@ func newRMMetrics(reg *telemetry.Registry) *rmMetrics {
 		rejoins:       reg.Counter("tetris_rm_node_rejoins_total", "Presumed-dead nodes that returned to service."),
 		orphansKilled: reg.Counter("tetris_rm_resync_orphans_killed_total", "Orphaned task attempts killed during resync reconciliation."),
 		lostRequeued:  reg.Counter("tetris_rm_resync_lost_requeued_total", "Lost launches released and re-queued during resync."),
+		deltaBeats:    reg.Counter("tetris_rm_delta_heartbeats_total", "NM heartbeats received as delta availability reports."),
 
 		scheduleRound: reg.Histogram("tetris_rm_schedule_round_seconds", "Wall time of one scheduling round (the Table 7 allocation cost)."),
 		nmHeartbeat:   reg.Histogram("tetris_rm_nm_heartbeat_seconds", "NM heartbeat processing time, scheduling included."),

@@ -45,6 +45,11 @@ func (s *Server) applyRegister(r *wire.RegisterNM, now float64) []workload.TaskI
 	}
 	wasResync := s.resync[id]
 	delete(s.resync, id)
+	// Whatever usage view the RM holds predates this (re)registration;
+	// delta beats must not extend it. The node's first post-register
+	// heartbeat is a full report anyway (DeltaTracker starts with no
+	// baseline), which clears the mark.
+	s.needFull[id] = true
 	if m.Down {
 		if wasResync {
 			// The RM restarted; the node did not. Its ledger entries were

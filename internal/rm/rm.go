@@ -85,9 +85,15 @@ type Server struct {
 	faultLog  *faults.Ring
 	epochs    map[int]int // per-machine death epoch; see remoteCharge
 	resync    map[int]bool
-	nmTimes   stats.Online
-	amTimes   stats.Online
-	metrics   *rmMetrics
+	// needFull marks nodes whose delta-heartbeat baseline the RM cannot
+	// vouch for: registration, dead-node reclaim and rejoin all reset
+	// the RM's usage view, so until the node's next full report a delta
+	// beat must not be trusted to pin Reported. Replies to such nodes
+	// carry NMReply.FullReport; a full beat clears the mark.
+	needFull map[int]bool
+	nmTimes  stats.Online
+	amTimes  stats.Online
+	metrics  *rmMetrics
 
 	jnl             *journal.Journal // nil when journaling is off
 	replaying       bool             // suppress journal writes during replay
@@ -147,6 +153,7 @@ func New(addr string, cfg Config) (*Server, error) {
 		faultLog: faults.NewRing(cfg.FaultLogCap),
 		epochs:   make(map[int]int),
 		resync:   make(map[int]bool),
+		needFull: make(map[int]bool),
 		conns:    make(map[net.Conn]struct{}),
 		closed:   make(chan struct{}),
 	}
@@ -418,7 +425,16 @@ func (s *Server) HandleNMHeartbeat(hb *wire.NMHeartbeat) *wire.Message {
 		}
 		s.checkFailures(now)
 	}
-	m.Reported = hb.Used
+	if hb.Delta {
+		// Delta availability report: Used/Allocated are unchanged since
+		// this node's last acked beat, so m.Reported already holds them.
+		// If the RM reset its view since then (needFull), keep the reset
+		// value and ask for a full report below.
+		s.metrics.deltaBeats.Inc()
+	} else {
+		m.Reported = hb.Used
+		delete(s.needFull, hb.NodeID)
+	}
 	for _, c := range hb.Completed {
 		if s.applyComplete(c, hb.NodeID, now) {
 			s.journal(&event{Kind: evComplete, Time: now, Node: hb.NodeID,
@@ -429,7 +445,9 @@ func (s *Server) HandleNMHeartbeat(hb *wire.NMHeartbeat) *wire.Message {
 	s.maybeSnapshot()
 	launch := s.pending[hb.NodeID]
 	delete(s.pending, hb.NodeID)
-	return &wire.Message{Type: wire.TypeNMReply, NMReply: &wire.NMReply{Launch: launch}}
+	return &wire.Message{Type: wire.TypeNMReply, NMReply: &wire.NMReply{
+		Launch: launch, FullReport: s.needFull[hb.NodeID],
+	}}
 }
 
 // applyRejoin takes a presumed-dead node back on a heartbeat: its old
@@ -438,6 +456,7 @@ func (s *Server) HandleNMHeartbeat(hb *wire.NMHeartbeat) *wire.Message {
 func (s *Server) applyRejoin(id int, now float64) {
 	m := s.machines[id]
 	m.Allocated = resources.Vector{}
+	s.needFull[id] = true // Reported was zeroed at death; re-baseline
 	s.rejoin(id, now)
 }
 
@@ -534,7 +553,8 @@ func (s *Server) applyDead(id int, now float64) {
 	m.Down = true
 	m.Allocated = resources.Vector{}
 	m.Reported = resources.Vector{}
-	s.epochs[id]++ // invalidate remote charges targeting the zeroed ledger
+	s.needFull[id] = true // the zeroed Reported must not be delta-pinned
+	s.epochs[id]++        // invalidate remote charges targeting the zeroed ledger
 	if s.downSince != nil {
 		s.downSince[id] = now
 	}

@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"testing"
+
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// frame builds a raw frame with an arbitrary header length and body —
+// including deliberately inconsistent ones.
+func frame(announced uint32, body []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], announced)
+	return append(hdr[:], body...)
+}
+
+// FuzzWireRoundTrip feeds Read arbitrary byte streams — truncated
+// headers, short bodies, oversize length announcements, invalid JSON —
+// asserting it never panics and fails cleanly. When the input happens
+// to decode into a message, the message is re-framed with Write and
+// read back, asserting round-trip identity at the JSON level.
+func FuzzWireRoundTrip(f *testing.F) {
+	valid := func(m *Message) []byte {
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add([]byte{})                        // empty stream
+	f.Add([]byte{0x00})                    // truncated header
+	f.Add([]byte{0x00, 0x00, 0x00})        // still truncated
+	f.Add(frame(0, nil))                   // zero-length body
+	f.Add(frame(16, []byte("{")))          // body shorter than announced
+	f.Add(frame(4, []byte("null")))        // JSON null
+	f.Add(frame(7, []byte("not-json")))    // invalid JSON (and short)
+	f.Add(frame(0xFFFFFFFF, nil))          // oversize announcement
+	f.Add(frame(MaxFrame+1, []byte("{}"))) // just past the cap
+	f.Add(frame(2, []byte("{}")))          // minimal valid message
+	f.Add(valid(&Message{Type: TypeClusterStatus}))
+	f.Add(valid(&Message{Type: TypeNMHeartbeat, NMHeartbeat: &NMHeartbeat{
+		NodeID: 3,
+		Used:   resources.New(1, 2, 3, 4, 5, 6),
+		Completed: []TaskCompletion{{
+			Task:     workload.TaskID{Job: 1, Stage: 2, Index: 3},
+			Usage:    resources.New(1, 1, 0, 0, 0, 0),
+			Duration: 12.5,
+		}},
+	}}))
+	f.Add(valid(&Message{Type: TypeNMHeartbeat, NMHeartbeat: &NMHeartbeat{NodeID: 9, Delta: true}}))
+	f.Add(valid(&Message{Type: TypeNMReply, NMReply: &NMReply{
+		Launch:     []TaskLaunch{{Task: workload.TaskID{Job: 7}, JobID: 7, Duration: 3}},
+		Kill:       []workload.TaskID{{Job: 1, Stage: 1, Index: 1}},
+		FullReport: true,
+	}}))
+	f.Add(valid(&Message{Type: TypeError, Error: "boom"}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if m != nil {
+				t.Fatalf("Read returned both a message and error %v", err)
+			}
+			return // malformed input must fail cleanly, and did
+		}
+		// The stream decoded: Write→Read must reproduce the message
+		// exactly. Compare via canonical JSON — that is the wire's own
+		// definition of identity.
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("re-framing a read message: %v", err)
+		}
+		m2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-reading a written message: %v", err)
+		}
+		j1, err1 := json.Marshal(m)
+		j2, err2 := json.Marshal(m2)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("marshal: %v / %v", err1, err2)
+		}
+		if !bytes.Equal(j1, j2) {
+			t.Fatalf("round trip drift:\n first: %s\nsecond: %s", j1, j2)
+		}
+		if rest, _ := io.ReadAll(&buf); len(rest) != 0 {
+			t.Fatalf("Read left %d unconsumed bytes of its own frame", len(rest))
+		}
+	})
+}

@@ -85,10 +85,22 @@ type TaskCompletion struct {
 
 // NMHeartbeat is the node manager's periodic report: tracker observations
 // plus completions since the last beat.
+//
+// Availability reports come in two forms. A full report carries Used
+// and Allocated. A delta report (Delta set) omits both: it asserts they
+// are bit-identical to this node's last *acknowledged* report — the
+// last heartbeat whose reply the node actually read — so the RM keeps
+// its current view. The sender side lives in DeltaTracker; senders must
+// open every session (connect or reconnect) with a full report, and
+// must fall back to full when the reply carries NMReply.FullReport
+// (the RM reset its view: restart, dead-node reclaim, rejoin).
 type NMHeartbeat struct {
-	NodeID    int              `json:"nodeID"`
-	Used      resources.Vector `json:"used"`
-	Allocated resources.Vector `json:"allocated"`
+	NodeID int `json:"nodeID"`
+	// Delta marks a delta availability report: Used and Allocated are
+	// omitted because they equal the last acknowledged report's values.
+	Delta     bool             `json:"delta,omitempty"`
+	Used      resources.Vector `json:"used,omitzero"`
+	Allocated resources.Vector `json:"allocated,omitzero"`
 	Completed []TaskCompletion `json:"completed,omitempty"`
 }
 
@@ -114,6 +126,12 @@ type NMReply struct {
 	// was reclaimed and re-run elsewhere while the node was presumed
 	// dead). The node must stop them and report no completion.
 	Kill []workload.TaskID `json:"kill,omitempty"`
+	// FullReport asks the node to send a full (non-delta) availability
+	// report on its next heartbeat: the RM has no authoritative usage
+	// view for the node (it just registered, was declared dead, or
+	// rejoined after a presumed death zeroed its ledger), so a delta
+	// report would silently pin a stale baseline.
+	FullReport bool `json:"fullReport,omitempty"`
 }
 
 // SubmitJob registers a job (full DAG with declared demands) with the RM.

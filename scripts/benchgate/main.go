@@ -19,6 +19,22 @@
 //
 // Unlike base/head gating, a missing side of a pair is an error — a
 // misspelled pair must not pass silently.
+//
+// Two JSON modes tie benchgate into the BENCH_*.json trajectory
+// (internal/bench schema):
+//
+//	-json-out BENCH_micro.json -scenario micro
+//
+// additionally writes the head results as a versioned snapshot
+// (metrics keyed "<benchmark>_ns_per_op"), so micro-benchmark history
+// is archived in the same format the hollow scale harness emits.
+//
+//	benchgate -check BENCH_scale_smoke.json -require rounds_per_sec,heartbeat_p99_seconds
+//
+// is a standalone mode: it validates an existing snapshot — schema
+// version, and that every -require metric is present and nonzero —
+// and prints it. CI uses it to fail the scale-smoke job when the
+// harness silently measured nothing.
 package main
 
 import (
@@ -28,6 +44,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
+
+	"github.com/tetris-sched/tetris/internal/bench"
 )
 
 type result struct {
@@ -126,15 +145,56 @@ func parseBench(path string) (map[string]result, []string, error) {
 	return sums, order, nil
 }
 
+// checkSnapshot implements -check: load a BENCH_*.json snapshot,
+// demand the required metrics, print what it holds.
+func checkSnapshot(path, require string) {
+	var required []string
+	for _, k := range strings.Split(require, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			required = append(required, k)
+		}
+	}
+	s, err := bench.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	if err := s.Validate(required...); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %s OK — kind=%s scenario=%s, %d metrics\n", path, s.Kind, s.Scenario, len(s.Metrics))
+	for _, k := range required {
+		fmt.Printf("  %-40s %g\n", k, s.Metrics[k])
+	}
+}
+
+// metricKey flattens a benchmark name into a snapshot metric key:
+// lowercase, path separators and dashes to underscores.
+func metricKey(name string) string {
+	key := strings.ToLower(name)
+	key = strings.NewReplacer("/", "_", "-", "_", "=", "_").Replace(key)
+	return key + "_ns_per_op"
+}
+
 func main() {
 	basePath := flag.String("base", "", "bench output of the base commit")
 	headPath := flag.String("head", "", "bench output of the head commit")
 	threshold := flag.Float64("threshold", 0.15, "max allowed ns/op slowdown (0.15 = +15%)")
+	jsonOut := flag.String("json-out", "", "also write head results as a BENCH_*.json snapshot")
+	scenario := flag.String("scenario", "micro", "scenario name recorded in the -json-out snapshot")
+	checkPath := flag.String("check", "", "standalone: validate an existing BENCH_*.json snapshot and exit")
+	require := flag.String("require", "", "comma-separated metrics that must be present and nonzero in -check")
 	var pairs pairList
 	flag.Var(&pairs, "pair", "gate benchA against benchB within the head file (benchA=benchB, repeatable)")
 	flag.Parse()
+	if *checkPath != "" {
+		checkSnapshot(*checkPath, *require)
+		return
+	}
 	if *basePath == "" || *headPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: benchgate -base base.txt -head head.txt [-threshold 0.15]")
+		fmt.Fprintln(os.Stderr, "       benchgate -check BENCH_x.json [-require m1,m2]")
 		os.Exit(2)
 	}
 	base, _, err := parseBench(*basePath)
@@ -150,6 +210,24 @@ func main() {
 	if len(head) == 0 {
 		fmt.Fprintln(os.Stderr, "benchgate: no benchmarks in", *headPath)
 		os.Exit(2)
+	}
+	if *jsonOut != "" {
+		snap := &bench.Snapshot{
+			Schema:   bench.SchemaVersion,
+			Kind:     "micro-bench",
+			Scenario: *scenario,
+			Unix:     time.Now().Unix(),
+			Config:   map[string]string{"head": *headPath, "base": *basePath},
+			Metrics:  make(map[string]float64, len(head)),
+		}
+		for name, r := range head {
+			snap.Metrics[metricKey(name)] = r.nsPerOp
+		}
+		if err := snap.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %s (%d metrics)\n", *jsonOut, len(snap.Metrics))
 	}
 
 	failed := false
