@@ -25,6 +25,7 @@ import (
 	"github.com/tetris-sched/tetris/internal/rm"
 	"github.com/tetris-sched/tetris/internal/scheduler"
 	"github.com/tetris-sched/tetris/internal/telemetry"
+	"github.com/tetris-sched/tetris/internal/wire"
 )
 
 func main() {
@@ -50,6 +51,7 @@ func main() {
 
 		coreName = flag.String("core", "incremental", "tetris schedule core: incremental | reference | parallel")
 		workers  = flag.Int("sched-workers", 0, "parallel core pool size (0 = GOMAXPROCS; needs -core=parallel)")
+		shards   = flag.Int("shards", 1, "scheduler shards (>1 boots the two-level sharded RM)")
 	)
 	flag.Parse()
 	syncPolicy, err := journal.ParsePolicy(*fsyncMode)
@@ -84,21 +86,38 @@ func main() {
 	default:
 		log.Fatalf("unknown core %q (want incremental, reference or parallel)", *coreName)
 	}
-	srv, err := rm.New("127.0.0.1:0", rm.Config{
-		Scheduler:     tetris.NewScheduler(schedCfg),
-		Estimator:     tetris.NewEstimator(),
-		Logger:        logger,
-		NodeTimeout:   *nodeTimeout,
-		JournalDir:    *journalDir,
-		JournalSync:   syncPolicy,
-		SnapshotEvery: *snapEvery,
-		Metrics:       reg,
-	})
+	// srv is the single global RM or, with -shards > 1, the two-level
+	// sharded RM; both speak the same wire protocol.
+	var srv rmServer
+	if *shards > 1 {
+		srv, err = rm.NewSharded("127.0.0.1:0", rm.ShardedConfig{
+			Shards:        *shards,
+			NewScheduler:  func() tetris.Scheduler { return tetris.NewScheduler(schedCfg) },
+			NewEstimator:  tetris.NewEstimator,
+			NodeTimeout:   *nodeTimeout,
+			JournalDir:    *journalDir,
+			JournalSync:   syncPolicy,
+			SnapshotEvery: *snapEvery,
+			Metrics:       reg,
+			Logger:        logger,
+		})
+	} else {
+		srv, err = rm.New("127.0.0.1:0", rm.Config{
+			Scheduler:     tetris.NewScheduler(schedCfg),
+			Estimator:     tetris.NewEstimator(),
+			Logger:        logger,
+			NodeTimeout:   *nodeTimeout,
+			JournalDir:    *journalDir,
+			JournalSync:   syncPolicy,
+			SnapshotEvery: *snapEvery,
+			Metrics:       reg,
+		})
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	fmt.Printf("resource manager listening on %s\n", srv.Addr())
+	fmt.Printf("resource manager listening on %s (%d shard(s))\n", srv.Addr(), *shards)
 	if *journalDir != "" {
 		fmt.Printf("journaling to %s (fsync=%s)\n", *journalDir, *fsyncMode)
 	}
@@ -233,4 +252,16 @@ func main() {
 	}
 	cancel()
 	nmWG.Wait()
+}
+
+// rmServer is the driver-facing surface shared by rm.Server and
+// rm.Sharded.
+type rmServer interface {
+	Addr() string
+	Close() error
+	ClusterStatus() wire.ClusterStatusReply
+	HeartbeatStats() (nmMean, nmMax, amMean, amMax float64)
+	JournalStats() (appends, snapshots uint64, ok bool)
+	DroppedFaultEvents() uint64
+	FaultEvents() []faults.Record
 }

@@ -57,11 +57,15 @@ func main() {
 		nodeTimeout = flag.Duration("node-timeout", 10*time.Second, "RM failure-detector heartbeat silence threshold (0 = off)")
 		crashFrac   = flag.Float64("crash-frac", 0, "fraction of nodes that crash once mid-run (fault-plan churn; needs -node-timeout)")
 		coreName    = flag.String("core", "incremental", "tetris schedule core: incremental | reference | parallel")
+		shards      = flag.Int("shards", 1, "scheduler shards (>1 boots the two-level sharded RM)")
 		verbose     = flag.Bool("v", false, "verbose RM/fleet logging")
 	)
 	flag.Parse()
 	if *crashFrac > 0 && *nodeTimeout <= 0 {
 		log.Fatal("-crash-frac needs -node-timeout: without a detector, crashed hollow nodes stay allocated forever")
+	}
+	if *shards < 1 {
+		log.Fatal("-shards must be >= 1")
 	}
 
 	var logger *log.Logger
@@ -80,20 +84,36 @@ func main() {
 	default:
 		log.Fatalf("unknown core %q (want incremental, reference or parallel)", *coreName)
 	}
-	srv, err := rm.New("127.0.0.1:0", rm.Config{
-		Scheduler:       tetris.NewScheduler(schedCfg),
-		Estimator:       tetris.NewEstimator(),
-		NodeTimeout:     *nodeTimeout,
-		MaxTaskAttempts: 4,
-		Metrics:         reg,
-		Logger:          logger,
-	})
+	// srv is either the single global RM or the two-level sharded RM;
+	// both speak the same wire protocol, so the fleet cannot tell.
+	var srv rmServer
+	var err error
+	if *shards > 1 {
+		srv, err = rm.NewSharded("127.0.0.1:0", rm.ShardedConfig{
+			Shards:          *shards,
+			NewScheduler:    func() tetris.Scheduler { return tetris.NewScheduler(schedCfg) },
+			NewEstimator:    tetris.NewEstimator,
+			NodeTimeout:     *nodeTimeout,
+			MaxTaskAttempts: 4,
+			Metrics:         reg,
+			Logger:          logger,
+		})
+	} else {
+		srv, err = rm.New("127.0.0.1:0", rm.Config{
+			Scheduler:       tetris.NewScheduler(schedCfg),
+			Estimator:       tetris.NewEstimator(),
+			NodeTimeout:     *nodeTimeout,
+			MaxTaskAttempts: 4,
+			Metrics:         reg,
+			Logger:          logger,
+		})
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	fmt.Printf("tetris-hollow: RM on %s, %d hollow nodes, %d jobs, %v budget\n",
-		srv.Addr(), *nodes, *jobs, *duration)
+	fmt.Printf("tetris-hollow: RM on %s (%d shard(s)), %d hollow nodes, %d jobs, %v budget\n",
+		srv.Addr(), *shards, *nodes, *jobs, *duration)
 
 	var plan *faults.Plan
 	if *crashFrac > 0 {
@@ -166,9 +186,30 @@ func main() {
 	cpuSec := processCPU() - cpu0
 	fr := fleet.Report()
 
-	rounds := reg.Histogram("tetris_rm_schedule_round_seconds", "").Count()
-	roundSec := reg.Histogram("tetris_rm_schedule_round_seconds", "").Sum()
-	nmHB := reg.Histogram("tetris_rm_nm_heartbeat_seconds", "")
+	// With shards > 1 every RM series is labeled shard="<i>"; aggregate
+	// rounds across shards and keep per-shard entries for the gate.
+	perShard := make(map[string]float64)
+	var rounds uint64
+	var roundSec, nmHandleSec float64
+	var nmHandleN uint64
+	if *shards > 1 {
+		for i := 0; i < *shards; i++ {
+			label := strconv.Itoa(i)
+			rh := reg.Histogram(telemetry.Label("tetris_rm_schedule_round_seconds", "shard", label), "")
+			hh := reg.Histogram(telemetry.Label("tetris_rm_nm_heartbeat_seconds", "shard", label), "")
+			rounds += rh.Count()
+			roundSec += rh.Sum()
+			nmHandleSec += hh.Sum()
+			nmHandleN += hh.Count()
+			perShard["shard"+label+"_rounds_per_sec"] = float64(rh.Count()) / elapsed
+			perShard["shard"+label+"_heartbeat_p99_seconds"] = hh.Quantile(0.99)
+		}
+	} else {
+		h := reg.Histogram("tetris_rm_schedule_round_seconds", "")
+		rounds, roundSec = h.Count(), h.Sum()
+		nmHB := reg.Histogram("tetris_rm_nm_heartbeat_seconds", "")
+		nmHandleSec, nmHandleN = nmHB.Sum(), nmHB.Count()
+	}
 
 	snap := &bench.Snapshot{
 		Schema:   bench.SchemaVersion,
@@ -185,6 +226,7 @@ func main() {
 			"seed":        strconv.FormatInt(*seed, 10),
 			"delta":       strconv.FormatBool(*delta),
 			"core":        *coreName,
+			"shards":      strconv.Itoa(*shards),
 			"crash_frac":  strconv.FormatFloat(*crashFrac, 'g', -1, 64),
 			"duration":    duration.String(),
 		},
@@ -202,7 +244,8 @@ func main() {
 			"wire_bytes_per_node_per_sec":    float64(fr.BytesSent+fr.BytesRecv) / float64(*nodes) / elapsed,
 			"process_cpu_seconds_per_sec":    cpuSec / elapsed,
 			"cpu_seconds_per_node_per_sec":   cpuSec / float64(*nodes) / elapsed,
-			"rm_nm_heartbeat_handle_seconds": nmHB.Mean(),
+			"rm_nm_heartbeat_handle_seconds": safeDiv(nmHandleSec, float64(nmHandleN)),
+			"shards":                         float64(*shards),
 			"registers_total":                float64(fr.Registers),
 			"redials_total":                  float64(fr.Redials),
 			"crash_windows_total":            float64(fr.Crashes),
@@ -213,6 +256,9 @@ func main() {
 			"jobs_failed":                    float64(amRep.Failed),
 		},
 	}
+	for k, v := range perShard {
+		snap.Metrics[k] = v
+	}
 	out := *outDir + "/BENCH_scale_" + *scenario + ".json"
 	if err := snap.WriteFile(out); err != nil {
 		log.Fatalf("tetris-hollow: %v", err)
@@ -222,6 +268,14 @@ func main() {
 		*scenario, elapsed, amRep.Finished, amRep.Submitted, fr.TasksCompleted)
 	fmt.Printf("  rounds/sec          %.1f (mean round %.3fms)\n",
 		float64(rounds)/elapsed, 1e3*safeDiv(roundSec, float64(rounds)))
+	if *shards > 1 {
+		for i := 0; i < *shards; i++ {
+			label := strconv.Itoa(i)
+			fmt.Printf("  shard %-2s            %.1f rounds/sec, heartbeat p99 %.3fms\n",
+				label, perShard["shard"+label+"_rounds_per_sec"],
+				1e3*perShard["shard"+label+"_heartbeat_p99_seconds"])
+		}
+	}
 	fmt.Printf("  heartbeat RTT       p50 %.3fms  p99 %.3fms  (%d samples)\n",
 		fr.RTTp50*1e3, fr.RTTp99*1e3, fr.RTTSamples)
 	fmt.Printf("  wire bytes/node/sec %.0f (delta beats %.0f%%)\n",
@@ -237,6 +291,14 @@ func main() {
 	if amRep.Failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// rmServer is the driver-facing surface shared by rm.Server and
+// rm.Sharded.
+type rmServer interface {
+	Addr() string
+	Close() error
+	VerifyLedger() error
 }
 
 // processCPU returns the process's cumulative user+system CPU seconds.

@@ -1,0 +1,107 @@
+package hollow
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the reference the reservoir is judged against: the
+// same lower-rounding nearest-rank convention quantile() uses, applied
+// to the full observation stream.
+func exactQuantile(values []float64, q float64) float64 {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	i := int(q * float64(len(sorted)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func TestReservoirEmpty(t *testing.T) {
+	r := newReservoir(16, 1)
+	if got := r.quantile(0.5); got != 0 {
+		t.Errorf("empty reservoir quantile = %v, want 0", got)
+	}
+	if got := r.count(); got != 0 {
+		t.Errorf("empty reservoir count = %d, want 0", got)
+	}
+}
+
+// TestReservoirExactBelowCapacity: while the stream is smaller than the
+// reservoir, nothing is sampled away, so every quantile must equal the
+// exact quantile of the observed values — regardless of arrival order.
+func TestReservoirExactBelowCapacity(t *testing.T) {
+	const capacity = 256
+	rng := rand.New(rand.NewSource(7))
+	r := newReservoir(capacity, 7)
+	var stream []float64
+	for i := 0; i < capacity-13; i++ {
+		v := rng.Float64() * 100
+		stream = append(stream, v)
+		r.observe(v)
+	}
+	if got := r.count(); got != int64(len(stream)) {
+		t.Fatalf("count = %d, want %d", got, len(stream))
+	}
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 1} {
+		want := exactQuantile(stream, q)
+		if got := r.quantile(q); got != want {
+			t.Errorf("q=%.2f: reservoir %v, exact %v", q, got, want)
+		}
+	}
+}
+
+// TestReservoirApproximatesLargeStream: once the stream far exceeds
+// capacity, algorithm R keeps a uniform sample, so quantile estimates
+// must land near the exact stream quantiles. Uniform input makes the
+// error bound easy to state: the standard error of the q-quantile
+// estimate from k samples is ~sqrt(q(1-q)/k)·range; 5× that is a
+// comfortably deterministic margin for a fixed seed.
+func TestReservoirApproximatesLargeStream(t *testing.T) {
+	const (
+		capacity = 1024
+		n        = 100_000
+		scale    = 1000.0
+	)
+	rng := rand.New(rand.NewSource(11))
+	r := newReservoir(capacity, 11)
+	stream := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v := rng.Float64() * scale
+		stream = append(stream, v)
+		r.observe(v)
+	}
+	if got := r.count(); got != n {
+		t.Fatalf("count = %d, want %d", got, n)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		want := exactQuantile(stream, q)
+		got := r.quantile(q)
+		tol := 5 * scale * math.Sqrt(q*(1-q)/capacity)
+		if diff := got - want; diff < -tol || diff > tol {
+			t.Errorf("q=%.2f: reservoir %v, exact %v (|diff| %v > tol %v)",
+				q, got, want, diff, tol)
+		}
+	}
+}
+
+// TestReservoirBoundedMemory: the sample never outgrows its capacity no
+// matter how long the stream runs.
+func TestReservoirBoundedMemory(t *testing.T) {
+	const capacity = 64
+	r := newReservoir(capacity, 3)
+	for i := 0; i < 10*capacity; i++ {
+		r.observe(float64(i))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) != capacity {
+		t.Fatalf("len(samples) = %d, want %d", len(r.samples), capacity)
+	}
+}

@@ -46,34 +46,45 @@ type rmMetrics struct {
 	prevScatterRounds uint64
 }
 
+// shardSeries tags a metric name with the server's shard label, or
+// returns it unchanged for an unsharded server.
+func shardSeries(name, shard string) string {
+	if shard == "" {
+		return name
+	}
+	return telemetry.Label(name, "shard", shard)
+}
+
 // newRMMetrics resolves the RM's metric set in reg. A nil reg gets a
 // private registry: recording still happens (hot paths stay branch-free)
-// but nothing is exposed.
-func newRMMetrics(reg *telemetry.Registry) *rmMetrics {
+// but nothing is exposed. A non-empty shard label scopes every series to
+// that shard, so shard cores sharing one registry stay distinguishable.
+func newRMMetrics(reg *telemetry.Registry, shard string) *rmMetrics {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
+	name := func(n string) string { return shardSeries(n, shard) }
 	return &rmMetrics{
-		placements:    reg.Counter("tetris_rm_placements_total", "Task placements decided by the scheduler."),
-		completions:   reg.Counter("tetris_rm_completions_total", "Task completions absorbed from node heartbeats."),
-		jobsSubmitted: reg.Counter("tetris_rm_jobs_submitted_total", "Jobs accepted from job managers."),
-		jobsFinished:  reg.Counter("tetris_rm_jobs_finished_total", "Jobs that completed every task."),
-		jobsFailed:    reg.Counter("tetris_rm_jobs_failed_total", "Jobs abandoned after a task exhausted its attempt cap."),
-		deadNodes:     reg.Counter("tetris_rm_dead_nodes_total", "Nodes declared dead by the failure detector."),
-		reclaims:      reg.Counter("tetris_rm_tasks_reclaimed_total", "Running tasks preempted back to pending by dead-node reclaim."),
-		rejoins:       reg.Counter("tetris_rm_node_rejoins_total", "Presumed-dead nodes that returned to service."),
-		orphansKilled: reg.Counter("tetris_rm_resync_orphans_killed_total", "Orphaned task attempts killed during resync reconciliation."),
-		lostRequeued:  reg.Counter("tetris_rm_resync_lost_requeued_total", "Lost launches released and re-queued during resync."),
-		deltaBeats:    reg.Counter("tetris_rm_delta_heartbeats_total", "NM heartbeats received as delta availability reports."),
+		placements:    reg.Counter(name("tetris_rm_placements_total"), "Task placements decided by the scheduler."),
+		completions:   reg.Counter(name("tetris_rm_completions_total"), "Task completions absorbed from node heartbeats."),
+		jobsSubmitted: reg.Counter(name("tetris_rm_jobs_submitted_total"), "Jobs accepted from job managers."),
+		jobsFinished:  reg.Counter(name("tetris_rm_jobs_finished_total"), "Jobs that completed every task."),
+		jobsFailed:    reg.Counter(name("tetris_rm_jobs_failed_total"), "Jobs abandoned after a task exhausted its attempt cap."),
+		deadNodes:     reg.Counter(name("tetris_rm_dead_nodes_total"), "Nodes declared dead by the failure detector."),
+		reclaims:      reg.Counter(name("tetris_rm_tasks_reclaimed_total"), "Running tasks preempted back to pending by dead-node reclaim."),
+		rejoins:       reg.Counter(name("tetris_rm_node_rejoins_total"), "Presumed-dead nodes that returned to service."),
+		orphansKilled: reg.Counter(name("tetris_rm_resync_orphans_killed_total"), "Orphaned task attempts killed during resync reconciliation."),
+		lostRequeued:  reg.Counter(name("tetris_rm_resync_lost_requeued_total"), "Lost launches released and re-queued during resync."),
+		deltaBeats:    reg.Counter(name("tetris_rm_delta_heartbeats_total"), "NM heartbeats received as delta availability reports."),
 
-		scheduleRound: reg.Histogram("tetris_rm_schedule_round_seconds", "Wall time of one scheduling round (the Table 7 allocation cost)."),
-		nmHeartbeat:   reg.Histogram("tetris_rm_nm_heartbeat_seconds", "NM heartbeat processing time, scheduling included."),
-		amHeartbeat:   reg.Histogram("tetris_rm_am_heartbeat_seconds", "AM heartbeat processing time."),
-		journalFsync:  reg.Histogram("tetris_rm_journal_fsync_seconds", "Write-ahead journal fsync latency."),
-		parScatter:    reg.Histogram("tetris_rm_parallel_scatter_seconds", "Scatter-phase wall time of one parallel-core scheduling round."),
+		scheduleRound: reg.Histogram(name("tetris_rm_schedule_round_seconds"), "Wall time of one scheduling round (the Table 7 allocation cost)."),
+		nmHeartbeat:   reg.Histogram(name("tetris_rm_nm_heartbeat_seconds"), "NM heartbeat processing time, scheduling included."),
+		amHeartbeat:   reg.Histogram(name("tetris_rm_am_heartbeat_seconds"), "AM heartbeat processing time."),
+		journalFsync:  reg.Histogram(name("tetris_rm_journal_fsync_seconds"), "Write-ahead journal fsync latency."),
+		parScatter:    reg.Histogram(name("tetris_rm_parallel_scatter_seconds"), "Scatter-phase wall time of one parallel-core scheduling round."),
 
-		replaySeconds: reg.Gauge("tetris_rm_journal_replay_seconds", "Wall time of the last journal recovery replay."),
-		replayRecords: reg.Gauge("tetris_rm_journal_replay_records", "Log records replayed by the last journal recovery."),
+		replaySeconds: reg.Gauge(name("tetris_rm_journal_replay_seconds"), "Wall time of the last journal recovery replay."),
+		replayRecords: reg.Gauge(name("tetris_rm_journal_replay_records"), "Log records replayed by the last journal recovery."),
 	}
 }
 
@@ -84,15 +95,16 @@ func (s *Server) registerGauges(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
-	reg.GaugeFunc("tetris_rm_nodes_total", "Registered node managers.", func() float64 {
+	name := func(n string) string { return shardSeries(n, s.cfg.ShardLabel) }
+	reg.GaugeFunc(name("tetris_rm_nodes_total"), "Registered node managers.", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		return float64(len(s.machines))
 	})
-	reg.GaugeFunc("tetris_rm_nodes_live", "Registered nodes not presumed dead.", func() float64 {
+	reg.GaugeFunc(name("tetris_rm_nodes_live"), "Registered nodes not presumed dead.", func() float64 {
 		return float64(s.LiveNodes())
 	})
-	reg.GaugeFunc("tetris_rm_jobs_running", "Submitted jobs not yet finished.", func() float64 {
+	reg.GaugeFunc(name("tetris_rm_jobs_running"), "Submitted jobs not yet finished.", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		n := 0
@@ -103,7 +115,7 @@ func (s *Server) registerGauges(reg *telemetry.Registry) {
 		}
 		return float64(n)
 	})
-	reg.GaugeFunc("tetris_rm_tasks_running", "Task attempts currently charged to the ledger.", func() float64 {
+	reg.GaugeFunc(name("tetris_rm_tasks_running"), "Task attempts currently charged to the ledger.", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		n := 0
@@ -112,21 +124,21 @@ func (s *Server) registerGauges(reg *telemetry.Registry) {
 		}
 		return float64(n)
 	})
-	reg.GaugeFunc("tetris_rm_resync_pending", "Recovered machines still awaiting NM re-registration.", func() float64 {
+	reg.GaugeFunc(name("tetris_rm_resync_pending"), "Recovered machines still awaiting NM re-registration.", func() float64 {
 		return float64(s.ResyncPending())
 	})
-	reg.GaugeFunc("tetris_rm_fault_log_dropped", "Fault records evicted from the bounded fault ring.", func() float64 {
+	reg.GaugeFunc(name("tetris_rm_fault_log_dropped"), "Fault records evicted from the bounded fault ring.", func() float64 {
 		return float64(s.DroppedFaultEvents())
 	})
 	// Parallel-core pool gauges, registered only when the configured
 	// scheduler runs one. The counters are atomics, so these scrape
 	// without s.mu.
 	if _, ok := parallelStats(s.cfg.Scheduler); ok {
-		reg.GaugeFunc("tetris_rm_sched_workers", "Resolved worker-pool size of the parallel scheduling core.", func() float64 {
+		reg.GaugeFunc(name("tetris_rm_sched_workers"), "Resolved worker-pool size of the parallel scheduling core.", func() float64 {
 			ps, _ := parallelStats(s.cfg.Scheduler)
 			return float64(ps.Workers)
 		})
-		reg.GaugeFunc("tetris_rm_sched_worker_occupancy", "Mean scatter-phase worker occupancy of the parallel scheduling core.", func() float64 {
+		reg.GaugeFunc(name("tetris_rm_sched_worker_occupancy"), "Mean scatter-phase worker occupancy of the parallel scheduling core.", func() float64 {
 			ps, _ := parallelStats(s.cfg.Scheduler)
 			return ps.Occupancy()
 		})

@@ -64,6 +64,11 @@ type Config struct {
 	// fsync latencies, node liveness, ...; see metrics.go). Nil records
 	// into a private registry, exposing nothing.
 	Metrics *telemetry.Registry
+	// ShardLabel, when non-empty, tags every metric series this server
+	// registers with a `shard` label, so N shard cores sharing one
+	// registry (see sharded.go) expose disjoint per-shard series instead
+	// of silently aggregating into one.
+	ShardLabel string
 	// Logger for diagnostics; nil discards.
 	Logger *log.Logger
 }
@@ -140,6 +145,28 @@ type remoteCharge struct {
 // recovered machines await resync (see resync.go) and recovered jobs
 // resume where the journal left them.
 func New(addr string, cfg Config) (*Server, error) {
+	s, err := newCore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		if s.jnl != nil {
+			s.jnl.Close()
+		}
+		return nil, fmt.Errorf("rm: listen: %w", err)
+	}
+	s.ln = ln
+	s.startBackground()
+	return s, nil
+}
+
+// newCore builds a server (state, metrics, journal recovery) without a
+// listener or goroutines. The sharded manager (sharded.go) uses it
+// directly to run shard cores behind its own single listener; call
+// startBackground to start the failure-detection sweeper (and, when a
+// listener was installed, the accept loop).
+func newCore(cfg Config) (*Server, error) {
 	if cfg.Scheduler == nil {
 		return nil, fmt.Errorf("rm: scheduler is required")
 	}
@@ -160,7 +187,7 @@ func New(addr string, cfg Config) (*Server, error) {
 	if s.log == nil {
 		s.log = log.New(discard{}, "", 0)
 	}
-	s.metrics = newRMMetrics(cfg.Metrics)
+	s.metrics = newRMMetrics(cfg.Metrics, cfg.ShardLabel)
 	s.registerGauges(cfg.Metrics)
 	if s.cfg.SnapshotEvery <= 0 {
 		s.cfg.SnapshotEvery = 4096
@@ -174,21 +201,21 @@ func New(addr string, cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		if s.jnl != nil {
-			s.jnl.Close()
-		}
-		return nil, fmt.Errorf("rm: listen: %w", err)
-	}
-	s.ln = ln
+	return s, nil
+}
+
+// startBackground starts the server's goroutines: the dead-node sweeper
+// (when failure detection is on) and the accept loop (when a listener is
+// installed).
+func (s *Server) startBackground() {
 	if s.detector != nil {
 		s.wg.Add(1)
-		go s.watchNodes(cfg.NodeTimeout / 4)
+		go s.watchNodes(s.cfg.NodeTimeout / 4)
 	}
-	s.wg.Add(1)
-	go s.accept()
-	return s, nil
+	if s.ln != nil {
+		s.wg.Add(1)
+		go s.accept()
+	}
 }
 
 // watchNodes periodically sweeps for nodes whose heartbeats stopped.
@@ -226,7 +253,10 @@ func (s *Server) Close() error {
 	default:
 		close(s.closed)
 	}
-	err := s.ln.Close()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
 	s.connMu.Lock()
 	for conn := range s.conns {
 		conn.Close()
@@ -673,8 +703,11 @@ func (s *Server) runScheduler() {
 			v.Machines = append(v.Machines, m)
 		} else {
 			// Dense machine slice is required by the scheduler's indexing;
-			// fill holes with zero-capacity placeholders.
-			v.Machines = append(v.Machines, &scheduler.MachineState{ID: id})
+			// fill holes with Down placeholders. Down keeps the cores from
+			// placing on them and makes LiveCharges drop bandwidth charges
+			// aimed at them — a sharded RM's tasks routinely name input
+			// machines owned by sibling shards.
+			v.Machines = append(v.Machines, &scheduler.MachineState{ID: id, Down: true})
 		}
 	}
 	for id := 0; id <= maxJobID(s.jobs); id++ {
@@ -831,6 +864,15 @@ func (s *Server) DroppedFaultEvents() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.faultLog.Dropped()
+}
+
+// JobIDs returns the IDs of every job this server knows (finished or
+// not), ascending. The sharded manager uses it to rebuild its job→shard
+// routing table after per-shard journal recovery.
+func (s *Server) JobIDs() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobIDs()
 }
 
 // LiveNodes returns the number of registered nodes not currently

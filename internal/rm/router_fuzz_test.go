@@ -1,0 +1,120 @@
+package rm
+
+// FuzzShardRouting drives RouteDemand with randomized demand vectors and
+// shard free-ledger states derived from a fuzzed byte string, asserting
+// the two routing contracts the sharded RM depends on:
+//
+//  1. Determinism: the same inputs always pick the same shard (the
+//     router may run concurrently with scrapes and must not depend on
+//     map order, wall clock, or hidden state).
+//  2. Feasibility: a job is never routed to a shard with zero feasible
+//     machines while some other shard has one — otherwise the job would
+//     hang pending on a shard that can never place it.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tetris-sched/tetris/internal/resources"
+)
+
+// fuzzByteStream deals successive bytes of a fuzz input, cycling and
+// perturbing so short inputs still generate varied shard states.
+type fuzzByteStream struct {
+	data []byte
+	i    int
+}
+
+func (s *fuzzByteStream) next() byte {
+	if len(s.data) == 0 {
+		return 0
+	}
+	b := s.data[s.i%len(s.data)]
+	// Mix in the position so cycling does not just repeat the input.
+	b ^= byte(s.i * 131)
+	s.i++
+	return b
+}
+
+// nextVector derives a small non-negative resource vector.
+func (s *fuzzByteStream) nextVector(scale float64) resources.Vector {
+	var v resources.Vector
+	for k := 0; k < int(resources.NumKinds); k++ {
+		v[k] = float64(s.next()%32) * scale
+	}
+	return v
+}
+
+// buildViews derives 1..8 shard views. Free ledgers are clamped into
+// [0, capacity] like real FreePacking sums; some shards are left empty
+// (no machines) to exercise the fallback paths.
+func buildViews(s *fuzzByteStream) []ShardView {
+	n := int(s.next()%8) + 1
+	views := make([]ShardView, n)
+	for i := range views {
+		machines := int(s.next() % 4) // 0..3 machines
+		for m := 0; m < machines; m++ {
+			mc := s.nextVector(1).Add(resources.New(1, 1, 1, 1, 1, 1))
+			views[i].MachineCaps = append(views[i].MachineCaps, mc)
+			views[i].Capacity = views[i].Capacity.Add(mc)
+		}
+		views[i].Free = s.nextVector(1).Clamp(views[i].Capacity)
+		views[i].ActiveJobs = int(s.next() % 5)
+		views[i].PendingWork = float64(s.next()%64) * 10
+	}
+	return views
+}
+
+func FuzzShardRouting(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte{0xff, 0x00, 0x80, 0x40, 0x20, 0x10, 0x08, 0x04})
+	f.Add([]byte("sharded two-level resource manager routing"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := &fuzzByteStream{data: data}
+		views := buildViews(s)
+		mean := s.nextVector(0.5)
+		max := mean.Max(s.nextVector(0.5))
+
+		got := RouteDemand(mean, max, views)
+		if got < 0 || got >= len(views) {
+			t.Fatalf("RouteDemand = %d, out of range [0,%d)", got, len(views))
+		}
+
+		// Determinism: replay with deep-copied inputs.
+		copies := make([]ShardView, len(views))
+		for i, v := range views {
+			v.MachineCaps = append([]resources.Vector(nil), v.MachineCaps...)
+			copies[i] = v
+		}
+		for trial := 0; trial < 3; trial++ {
+			if again := RouteDemand(mean, max, copies); again != got {
+				t.Fatalf("RouteDemand not deterministic: %d then %d", got, again)
+			}
+		}
+
+		// Feasibility: if any shard can fit the job's max task, the
+		// chosen shard must be one of them.
+		anyFeasible := false
+		for _, v := range views {
+			if shardFeasible(max, v) {
+				anyFeasible = true
+				break
+			}
+		}
+		if anyFeasible && !shardFeasible(max, views[got]) {
+			t.Fatalf("routed to infeasible shard %d while a feasible shard exists\nmax=%v views=%+v",
+				got, max, views)
+		}
+
+		// The score the router maximized must be finite (NaN would make
+		// the comparison chain order-dependent).
+		v := views[got]
+		if !v.Capacity.IsZero() {
+			score := resources.AlignmentScore(mean, v.Free, v.Capacity)
+			if math.IsNaN(score) || math.IsInf(score, 0) {
+				t.Fatalf("non-finite alignment score %v for chosen shard %d", score, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,518 @@
+package rm
+
+// Sharded is the two-level resource manager: N independent shard cores
+// (ordinary *Server instances without their own listeners), each owning
+// a disjoint partition of the machine fleet and running the existing
+// incremental/parallel scheduling core against its own free ledger,
+// behind a thin top layer that does admission → shard routing →
+// dispatch. The global s.mu of the single-server design becomes N
+// per-shard locks: heartbeats from different shards schedule
+// concurrently, and a scheduling round only walks 1/N of the fleet.
+//
+// Partitioning is static by node ID (nodeID mod N): a node's shard can
+// be computed by anyone at any time, survives restarts with no extra
+// durable state, and keeps a node's whole ledger inside one shard so
+// every existing invariant (VerifyLedger, journal digest, resync
+// reconciliation) holds per shard unchanged. Jobs, by contrast, are
+// routed dynamically at admission with the alignment scorer (router.go)
+// and pinned to their shard for life: a job's tasks only ever run on
+// its shard's machines, so cross-shard remote-read charges never arise
+// and the per-shard ledgers stay closed under the existing proof
+// obligations.
+//
+// What is given up: a task cannot pack against another shard's spare
+// capacity, so N-shard placement can lose packing efficiency versus the
+// global packer. The shard_quality_test.go harness measures exactly
+// that loss against the 1-shard oracle; EXPERIMENTS.md records it.
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/tetris-sched/tetris/internal/estimator"
+	"github.com/tetris-sched/tetris/internal/faults"
+	"github.com/tetris-sched/tetris/internal/journal"
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/scheduler"
+	"github.com/tetris-sched/tetris/internal/telemetry"
+	"github.com/tetris-sched/tetris/internal/wire"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// ShardedConfig parameterizes the two-level RM. Per-shard knobs mirror
+// Config; the factories exist because shard cores must not share
+// mutable scheduler or estimator state.
+type ShardedConfig struct {
+	// Shards is the number of scheduler shards (≥ 1).
+	Shards int
+	// NewScheduler builds one shard's placement policy (required; called
+	// once per shard — cores must not share scheduler state).
+	NewScheduler func() scheduler.Scheduler
+	// NewEstimator optionally builds one shard's demand estimator.
+	NewEstimator func() *estimator.Estimator
+	// NodeTimeout, MaxTaskAttempts: as in Config, applied per shard.
+	NodeTimeout     time.Duration
+	MaxTaskAttempts int
+	// JournalDir enables per-shard write-ahead journaling under
+	// JournalDir/shard-<i>. Recovery also rebuilds the top layer's
+	// job→shard routing table from the recovered shard states.
+	JournalDir    string
+	JournalSync   journal.SyncPolicy
+	SnapshotEvery int
+	FaultLogCap   int
+	// Metrics receives every shard's telemetry, each series tagged
+	// shard="<i>", plus the top layer's routing metrics.
+	Metrics *telemetry.Registry
+	Logger  *log.Logger
+}
+
+// Sharded is a running two-level resource manager.
+type Sharded struct {
+	cfg    ShardedConfig
+	shards []*Server
+	ln     net.Listener
+	log    *log.Logger
+
+	mu       sync.Mutex
+	jobShard map[int]int // job ID → owning shard, pinned at admission
+
+	routedJobs []*telemetry.Counter // per-shard admission counts
+	fallbacks  *telemetry.Counter   // jobs routed with no feasible shard
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewSharded creates a two-level RM listening on addr. With
+// cfg.JournalDir set, each shard recovers from its own journal before
+// serving and the job→shard table is rebuilt from the recovered shards.
+func NewSharded(addr string, cfg ShardedConfig) (*Sharded, error) {
+	g, err := newShardedCore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		g.closeShards()
+		return nil, fmt.Errorf("rm: listen: %w", err)
+	}
+	g.ln = ln
+	g.start()
+	return g, nil
+}
+
+// NewShardedInProcess creates a two-level RM with no listener, for
+// tests and benchmarks that drive the handlers directly.
+func NewShardedInProcess(cfg ShardedConfig) (*Sharded, error) {
+	g, err := newShardedCore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	g.start()
+	return g, nil
+}
+
+func newShardedCore(cfg ShardedConfig) (*Sharded, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("rm: sharded: need at least 1 shard, got %d", cfg.Shards)
+	}
+	if cfg.NewScheduler == nil {
+		return nil, fmt.Errorf("rm: sharded: NewScheduler is required")
+	}
+	g := &Sharded{
+		cfg:      cfg,
+		log:      cfg.Logger,
+		jobShard: make(map[int]int),
+		closed:   make(chan struct{}),
+	}
+	if g.log == nil {
+		g.log = log.New(discard{}, "", 0)
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sc := Config{
+			Scheduler:       cfg.NewScheduler(),
+			NodeTimeout:     cfg.NodeTimeout,
+			MaxTaskAttempts: cfg.MaxTaskAttempts,
+			JournalSync:     cfg.JournalSync,
+			SnapshotEvery:   cfg.SnapshotEvery,
+			FaultLogCap:     cfg.FaultLogCap,
+			Metrics:         cfg.Metrics,
+			ShardLabel:      strconv.Itoa(i),
+			Logger:          cfg.Logger,
+		}
+		if cfg.NewEstimator != nil {
+			sc.Estimator = cfg.NewEstimator()
+		}
+		if cfg.JournalDir != "" {
+			sc.JournalDir = filepath.Join(cfg.JournalDir, fmt.Sprintf("shard-%d", i))
+		}
+		core, err := newCore(sc)
+		if err != nil {
+			g.closeShards()
+			return nil, fmt.Errorf("rm: sharded: shard %d: %w", i, err)
+		}
+		g.shards = append(g.shards, core)
+		// Rebuild routing for jobs the shard's journal recovered.
+		for _, id := range core.JobIDs() {
+			if prev, ok := g.jobShard[id]; ok && prev != i {
+				g.closeShards()
+				return nil, fmt.Errorf("rm: sharded: job %d recovered on shards %d and %d", id, prev, i)
+			}
+			g.jobShard[id] = i
+		}
+	}
+	if reg := cfg.Metrics; reg != nil {
+		for i := range g.shards {
+			g.routedJobs = append(g.routedJobs, reg.Counter(
+				telemetry.Label("tetris_rm_routed_jobs_total", "shard", strconv.Itoa(i)),
+				"Jobs the top-layer router admitted to the shard."))
+		}
+		g.fallbacks = reg.Counter("tetris_rm_route_fallbacks_total",
+			"Jobs routed while no shard had a machine fitting their largest task.")
+		reg.GaugeFunc("tetris_rm_shards", "Scheduler shards in the two-level RM.",
+			func() float64 { return float64(len(g.shards)) })
+	} else {
+		for range g.shards {
+			g.routedJobs = append(g.routedJobs, &telemetry.Counter{})
+		}
+		g.fallbacks = &telemetry.Counter{}
+	}
+	return g, nil
+}
+
+// start launches every shard's background work plus the top-level
+// accept loop when a listener is installed.
+func (g *Sharded) start() {
+	for _, s := range g.shards {
+		s.startBackground()
+	}
+	if g.ln != nil {
+		g.wg.Add(1)
+		go g.accept()
+	}
+}
+
+func (g *Sharded) closeShards() {
+	for _, s := range g.shards {
+		s.Close()
+	}
+}
+
+// Addr returns the listener address.
+func (g *Sharded) Addr() string { return g.ln.Addr().String() }
+
+// NumShards returns the shard count.
+func (g *Sharded) NumShards() int { return len(g.shards) }
+
+// Shard exposes shard i's core for per-shard assertions (ledger checks,
+// stats) in tests and drivers.
+func (g *Sharded) Shard(i int) *Server { return g.shards[i] }
+
+// nodeShard is the static node partition: nodeID mod N.
+func (g *Sharded) nodeShard(nodeID int) *Server {
+	i := nodeID % len(g.shards)
+	if i < 0 {
+		i += len(g.shards)
+	}
+	return g.shards[i]
+}
+
+// Close shuts down the listener and every shard.
+func (g *Sharded) Close() error {
+	select {
+	case <-g.closed:
+	default:
+		close(g.closed)
+	}
+	var err error
+	if g.ln != nil {
+		err = g.ln.Close()
+	}
+	g.wg.Wait()
+	for _, s := range g.shards {
+		if serr := s.Close(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+func (g *Sharded) accept() {
+	defer g.wg.Done()
+	for {
+		conn, err := g.ln.Accept()
+		if err != nil {
+			select {
+			case <-g.closed:
+				return
+			default:
+				g.log.Printf("rm: sharded: accept: %v", err)
+				return
+			}
+		}
+		g.wg.Add(1)
+		go g.serve(conn)
+	}
+}
+
+// serve speaks the same wire protocol as the single server: the sharded
+// RM is a drop-in replacement at the socket, and peers cannot tell they
+// talk to a partitioned fleet.
+func (g *Sharded) serve(conn net.Conn) {
+	defer g.wg.Done()
+	defer conn.Close()
+	for {
+		m, err := wire.Read(conn)
+		if err != nil {
+			return
+		}
+		var reply *wire.Message
+		switch m.Type {
+		case wire.TypeRegisterNM:
+			if m.RegisterNM == nil {
+				reply = errMsg("missing registerNM payload")
+			} else {
+				reply = g.nodeShard(m.RegisterNM.NodeID).handleRegisterNM(m.RegisterNM)
+			}
+		case wire.TypeNMHeartbeat:
+			reply = g.HandleNMHeartbeat(m.NMHeartbeat)
+		case wire.TypeSubmitJob:
+			reply = g.handleSubmitJob(m.SubmitJob)
+		case wire.TypeAMHeartbeat:
+			reply = g.HandleAMHeartbeat(m.AMHeartbeat)
+		case wire.TypeClusterStatus:
+			st := g.ClusterStatus()
+			reply = &wire.Message{Type: wire.TypeClusterStatusReply, ClusterStatus: &st}
+		default:
+			reply = &wire.Message{Type: wire.TypeError, Error: fmt.Sprintf("unknown message type %q", m.Type)}
+		}
+		if err := wire.Write(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+// HandleNMHeartbeat dispatches a node heartbeat to the node's shard,
+// which absorbs the report and runs its own scheduling round. Exported
+// for in-process drivers; shard cores never contend on a shared lock
+// here, which is where the rounds/sec scaling comes from.
+func (g *Sharded) HandleNMHeartbeat(hb *wire.NMHeartbeat) *wire.Message {
+	if hb == nil {
+		return errMsg("missing nmHeartbeat payload")
+	}
+	return g.nodeShard(hb.NodeID).HandleNMHeartbeat(hb)
+}
+
+// HandleAMHeartbeat answers a job-progress poll from the job's shard.
+func (g *Sharded) HandleAMHeartbeat(hb *wire.AMHeartbeat) *wire.Message {
+	if hb == nil {
+		return errMsg("missing amHeartbeat payload")
+	}
+	g.mu.Lock()
+	shard, ok := g.jobShard[hb.JobID]
+	g.mu.Unlock()
+	if !ok {
+		return errMsg(fmt.Sprintf("unknown job %d", hb.JobID))
+	}
+	return g.shards[shard].HandleAMHeartbeat(hb)
+}
+
+// handleSubmitJob is admission: validate, route once, pin, forward. A
+// resubmission of a known job ID goes back to its pinned shard, whose
+// own idempotence/conflict logic answers — routing never flaps.
+func (g *Sharded) handleSubmitJob(r *wire.SubmitJob) *wire.Message {
+	if r == nil || r.Job == nil {
+		return errMsg("missing job payload")
+	}
+	if err := r.Job.Validate(); err != nil {
+		return errMsg(fmt.Sprintf("invalid job: %v", err))
+	}
+	shard := g.routeJob(r.Job)
+	return g.shards[shard].handleSubmitJob(r)
+}
+
+// routeJob picks (or recalls) the owning shard for a job and pins it.
+func (g *Sharded) routeJob(j *workload.Job) int {
+	g.mu.Lock()
+	if shard, ok := g.jobShard[j.ID]; ok {
+		g.mu.Unlock()
+		return shard
+	}
+	g.mu.Unlock()
+
+	// Summarize shards without holding g.mu: RoutingSummary takes each
+	// shard's own lock, and admission must not serialize heartbeats.
+	views := make([]ShardView, len(g.shards))
+	for i, s := range g.shards {
+		views[i] = s.RoutingSummary()
+	}
+	mean, max := jobRoutingDemand(j)
+	shard := RouteDemand(mean, max, views)
+	feasible := false
+	for _, v := range views {
+		if shardFeasible(max, v) {
+			feasible = true
+			break
+		}
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if prev, ok := g.jobShard[j.ID]; ok { // lost a concurrent admission race
+		return prev
+	}
+	g.jobShard[j.ID] = shard
+	g.routedJobs[shard].Inc()
+	if !feasible {
+		g.fallbacks.Inc()
+	}
+	g.log.Printf("rm: sharded: job %d routed to shard %d (%d tasks)", j.ID, shard, j.NumTasks())
+	return shard
+}
+
+// RegisterMachine adds a machine to its static shard (without a socket).
+func (g *Sharded) RegisterMachine(id int, capacity resources.Vector) {
+	g.nodeShard(id).RegisterMachine(id, capacity)
+}
+
+// SubmitJob routes and registers a job directly (without a socket).
+func (g *Sharded) SubmitJob(j *workload.Job) error {
+	reply := g.handleSubmitJob(&wire.SubmitJob{Job: j})
+	if reply.Type == wire.TypeError {
+		return fmt.Errorf("rm: %s", reply.Error)
+	}
+	return nil
+}
+
+// JobShard returns the shard a job was routed to, and whether the job
+// is known.
+func (g *Sharded) JobShard(jobID int) (int, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok := g.jobShard[jobID]
+	return s, ok
+}
+
+// VerifyLedger checks every shard's conservation invariants; the first
+// violation is reported with its shard index.
+func (g *Sharded) VerifyLedger() error {
+	for i, s := range g.shards {
+		if err := s.VerifyLedger(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CheckFailures runs each shard's failure detector sweep immediately.
+func (g *Sharded) CheckFailures() {
+	for _, s := range g.shards {
+		s.CheckFailures()
+	}
+}
+
+// LiveNodes sums live node counts across shards.
+func (g *Sharded) LiveNodes() int {
+	n := 0
+	for _, s := range g.shards {
+		n += s.LiveNodes()
+	}
+	return n
+}
+
+// ResyncPending sums machines still awaiting NM re-registration.
+func (g *Sharded) ResyncPending() int {
+	n := 0
+	for _, s := range g.shards {
+		n += s.ResyncPending()
+	}
+	return n
+}
+
+// HeartbeatStats merges per-shard heartbeat timings: count-weighted
+// means, fleet-wide maxima.
+func (g *Sharded) HeartbeatStats() (nmMean, nmMax, amMean, amMax float64) {
+	var nmN, amN float64
+	for _, s := range g.shards {
+		s.mu.Lock()
+		nm, am := s.nmTimes, s.amTimes
+		s.mu.Unlock()
+		nmMean += nm.Mean() * float64(nm.N())
+		amMean += am.Mean() * float64(am.N())
+		nmN += float64(nm.N())
+		amN += float64(am.N())
+		if nm.Max() > nmMax {
+			nmMax = nm.Max()
+		}
+		if am.Max() > amMax {
+			amMax = am.Max()
+		}
+	}
+	if nmN > 0 {
+		nmMean /= nmN
+	}
+	if amN > 0 {
+		amMean /= amN
+	}
+	return nmMean, nmMax, amMean, amMax
+}
+
+// JournalStats sums journaling activity across shards; ok is false when
+// journaling is off.
+func (g *Sharded) JournalStats() (appends, snapshots uint64, ok bool) {
+	for _, s := range g.shards {
+		a, sn, on := s.JournalStats()
+		if !on {
+			return 0, 0, false
+		}
+		appends += a
+		snapshots += sn
+	}
+	return appends, snapshots, true
+}
+
+// DroppedFaultEvents sums fault-ring evictions across shards.
+func (g *Sharded) DroppedFaultEvents() uint64 {
+	var n uint64
+	for _, s := range g.shards {
+		n += s.DroppedFaultEvents()
+	}
+	return n
+}
+
+// FaultEvents merges every shard's crash/recovery log in time order.
+func (g *Sharded) FaultEvents() []faults.Record {
+	var out []faults.Record
+	for _, s := range g.shards {
+		out = append(out, s.FaultEvents()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// ClusterStatus merges every shard's status into one fleet-wide view:
+// node sets are unioned (shards partition the ID space, so no
+// collisions), fault logs are merged in time order.
+func (g *Sharded) ClusterStatus() wire.ClusterStatusReply {
+	var merged wire.ClusterStatusReply
+	for _, s := range g.shards {
+		st := s.ClusterStatus()
+		merged.Nodes += st.Nodes
+		merged.Live = append(merged.Live, st.Live...)
+		merged.Dead = append(merged.Dead, st.Dead...)
+		merged.Faults = append(merged.Faults, st.Faults...)
+		merged.DroppedFaults += st.DroppedFaults
+	}
+	sort.Ints(merged.Live)
+	sort.Ints(merged.Dead)
+	sort.SliceStable(merged.Faults, func(i, j int) bool {
+		return merged.Faults[i].Time < merged.Faults[j].Time
+	})
+	return merged
+}

@@ -180,17 +180,21 @@ func RemoteCharges(peak resources.Vector, t *workload.Task, m int) []RemoteCharg
 	return charges
 }
 
-// LiveCharges drops charges whose source machine is Down: with replicated
-// storage the read falls back to a replica elsewhere, so a dead source
-// neither blocks the placement nor accrues bandwidth charges. The input
-// slice is never mutated; it is returned as-is when all sources are live.
+// LiveCharges drops charges whose source machine is Down or outside the
+// view entirely: with replicated storage the read falls back to a replica
+// elsewhere, so a dead source neither blocks the placement nor accrues
+// bandwidth charges, and a source this scheduler cannot see (a machine
+// owned by another shard of a partitioned fleet) has no local ledger to
+// charge. The input slice is never mutated; it is returned as-is when all
+// sources are live and in view.
 func LiveCharges(v *View, charges []RemoteCharge) []RemoteCharge {
+	dead := func(m int) bool { return m >= len(v.Machines) || v.Machines[m].Down }
 	for i, rc := range charges {
-		if rc.Machine < len(v.Machines) && v.Machines[rc.Machine].Down {
+		if dead(rc.Machine) {
 			out := make([]RemoteCharge, 0, len(charges)-1)
 			out = append(out, charges[:i]...)
 			for _, rest := range charges[i+1:] {
-				if rest.Machine >= len(v.Machines) || !v.Machines[rest.Machine].Down {
+				if !dead(rest.Machine) {
 					out = append(out, rest)
 				}
 			}

@@ -280,15 +280,31 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 }
 
 // Histogram returns the histogram registered under name, creating it on
-// first use. Histogram names must not embed labels (bucket series carry
-// their own `le` label).
+// first use. The name may embed constant labels (Label): the exposition
+// merges them with each bucket's `le` label and suffixes _bucket/_sum/
+// _count before the label block, so per-shard series like
+// `tetris_rm_schedule_round_seconds{shard="0"}` render as valid
+// Prometheus histograms.
 func (r *Registry) Histogram(name, help string) *Histogram {
-	if strings.IndexByte(name, '{') >= 0 {
-		panic(fmt.Sprintf("telemetry: histogram %q must not embed labels", name))
-	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.lookup(name, help, kindHistogram).h
+}
+
+// suffixSeries appends suffix to a series name before any label block:
+// suffixSeries("m", "_sum") → "m_sum"; suffixSeries(`m{a="b"}`, "_sum")
+// → `m_sum{a="b"}`.
+func suffixSeries(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// bucketSeries builds a histogram bucket line's series name, merging the
+// `le` bound into an existing label block when the name carries one.
+func bucketSeries(name, le string) string {
+	return Label(suffixSeries(name, "_bucket"), "le", le)
 }
 
 // snapshotMetrics returns the metric list ordered by (base, name) so
@@ -336,10 +352,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				if m.h.buckets[i].Load() == 0 && i != histBuckets {
 					continue
 				}
-				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, histBounds[i], cum)
+				fmt.Fprintf(&b, "%s %d\n", bucketSeries(m.name, histBounds[i]), cum)
 			}
-			fmt.Fprintf(&b, "%s_sum %s\n", m.name, formatFloat(m.h.Sum()))
-			fmt.Fprintf(&b, "%s_count %d\n", m.name, m.h.Count())
+			fmt.Fprintf(&b, "%s %s\n", suffixSeries(m.name, "_sum"), formatFloat(m.h.Sum()))
+			fmt.Fprintf(&b, "%s %d\n", suffixSeries(m.name, "_count"), m.h.Count())
 		}
 	}
 	_, err := io.WriteString(w, b.String())

@@ -157,6 +157,47 @@ func TestWritePrometheus(t *testing.T) {
 	}
 }
 
+// TestLabeledHistogram covers per-shard histogram series: a labeled
+// histogram name renders _bucket/_sum/_count suffixed before the label
+// block, with `le` merged into the existing labels, and the two shards
+// share one HELP/TYPE header.
+func TestLabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	h0 := r.Histogram(Label("tetris_rm_round_seconds", "shard", "0"), "Round time.")
+	h1 := r.Histogram(Label("tetris_rm_round_seconds", "shard", "1"), "")
+	h0.Observe(0.01)
+	h0.Observe(0.02)
+	h1.Observe(0.04)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE tetris_rm_round_seconds histogram",
+		`tetris_rm_round_seconds_bucket{shard="0",le="0.016384"} 1`,
+		`tetris_rm_round_seconds_bucket{shard="0",le="+Inf"} 2`,
+		`tetris_rm_round_seconds_count{shard="0"} 2`,
+		`tetris_rm_round_seconds_sum{shard="0"} 0.03`,
+		`tetris_rm_round_seconds_bucket{shard="1",le="+Inf"} 1`,
+		`tetris_rm_round_seconds_count{shard="1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "# TYPE tetris_rm_round_seconds histogram"); got != 1 {
+		t.Errorf("TYPE header appeared %d times, want 1", got)
+	}
+	// Malformed renderings that would make Prometheus reject the scrape.
+	for _, bad := range []string{`seconds{shard="0"}_sum`, `seconds{shard="0"}_bucket`} {
+		if strings.Contains(out, bad) {
+			t.Errorf("exposition contains malformed series %q\n%s", bad, out)
+		}
+	}
+}
+
 func TestKindMismatchPanics(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("m", "")

@@ -41,6 +41,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -145,9 +146,29 @@ func parseBench(path string) (map[string]result, []string, error) {
 	return sums, order, nil
 }
 
-// checkSnapshot implements -check: load a BENCH_*.json snapshot,
-// demand the required metrics, print what it holds.
-func checkSnapshot(path, require string) {
+// metricVerdict renders a required metric's value for gate output and
+// reports whether it passes (present, nonzero, finite).
+func metricVerdict(s *bench.Snapshot, key string) (got string, ok bool) {
+	v, present := s.Metrics[key]
+	switch {
+	case !present:
+		return "missing", false
+	case v != v:
+		return "NaN", false
+	case v == 0:
+		return "0", false
+	case v > 1e300 || v < -1e300:
+		return fmt.Sprintf("%g (non-finite)", v), false
+	default:
+		return fmt.Sprintf("%g", v), true
+	}
+}
+
+// runCheck implements -check: load a BENCH_*.json snapshot, demand the
+// required metrics, and print one verdict line per requirement so a CI
+// failure names exactly which metric broke the gate and what value it
+// had. The returned error summarizes the failures (nil = gate passed).
+func runCheck(path, require string, w io.Writer) error {
 	var required []string
 	for _, k := range strings.Split(require, ",") {
 		if k = strings.TrimSpace(k); k != "" {
@@ -156,17 +177,23 @@ func checkSnapshot(path, require string) {
 	}
 	s, err := bench.ReadFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(1)
+		return err
 	}
-	if err := s.Validate(required...); err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("benchgate: %s OK — kind=%s scenario=%s, %d metrics\n", path, s.Kind, s.Scenario, len(s.Metrics))
+	failed := 0
 	for _, k := range required {
-		fmt.Printf("  %-40s %g\n", k, s.Metrics[k])
+		got, ok := metricVerdict(s, k)
+		if ok {
+			fmt.Fprintf(w, "  %-40s %s\n", k, got)
+			continue
+		}
+		failed++
+		fmt.Fprintf(w, "  %-40s FAIL — got %s, required nonzero finite\n", k, got)
 	}
+	if failed > 0 {
+		return fmt.Errorf("%s: %d of %d required metrics failed", path, failed, len(required))
+	}
+	fmt.Fprintf(w, "benchgate: %s OK — kind=%s scenario=%s, %d metrics\n", path, s.Kind, s.Scenario, len(s.Metrics))
+	return nil
 }
 
 // metricKey flattens a benchmark name into a snapshot metric key:
@@ -189,7 +216,10 @@ func main() {
 	flag.Var(&pairs, "pair", "gate benchA against benchB within the head file (benchA=benchB, repeatable)")
 	flag.Parse()
 	if *checkPath != "" {
-		checkSnapshot(*checkPath, *require)
+		if err := runCheck(*checkPath, *require, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *basePath == "" || *headPath == "" {

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSnap drops raw snapshot JSON into a temp file and returns its path.
+func writeSnap(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodSnap = `{
+  "schema": 1,
+  "kind": "hollow-scale",
+  "scenario": "smoke",
+  "unix": 1700000000,
+  "config": {"nodes": "100"},
+  "metrics": {
+    "rounds_per_sec": 42.5,
+    "heartbeat_p99_seconds": 0.002,
+    "zero_metric": 0,
+    "huge_metric": 1e301
+  }
+}`
+
+// TestRunCheck drives the -check gate over well-formed, missing-metric,
+// and malformed snapshots, asserting that a failure names the offending
+// metric and the value it actually had.
+func TestRunCheck(t *testing.T) {
+	cases := []struct {
+		name       string
+		body       string
+		require    string
+		wantErr    string // substring of the returned error ("" = nil)
+		wantOutput []string
+	}{
+		{
+			name:       "all required present",
+			body:       goodSnap,
+			require:    "rounds_per_sec,heartbeat_p99_seconds",
+			wantOutput: []string{"rounds_per_sec", "42.5", "OK"},
+		},
+		{
+			name:       "missing metric named in output",
+			body:       goodSnap,
+			require:    "rounds_per_sec,no_such_metric",
+			wantErr:    "1 of 2 required metrics failed",
+			wantOutput: []string{"no_such_metric", "got missing, required nonzero finite"},
+		},
+		{
+			name:       "zero metric named with its value",
+			body:       goodSnap,
+			require:    "zero_metric",
+			wantErr:    "1 of 1 required metrics failed",
+			wantOutput: []string{"zero_metric", "got 0, required nonzero finite"},
+		},
+		{
+			name:       "non-finite metric rejected",
+			body:       goodSnap,
+			require:    "huge_metric",
+			wantErr:    "1 of 1 required metrics failed",
+			wantOutput: []string{"huge_metric", "non-finite"},
+		},
+		{
+			name:    "every failure reported, not just the first",
+			body:    goodSnap,
+			require: "zero_metric,no_such_metric,rounds_per_sec",
+			wantErr: "2 of 3 required metrics failed",
+			wantOutput: []string{
+				"zero_metric", "no_such_metric",
+				"got 0, required nonzero finite",
+				"got missing, required nonzero finite",
+			},
+		},
+		{
+			name:    "wrong schema version",
+			body:    strings.Replace(goodSnap, `"schema": 1`, `"schema": 99`, 1),
+			require: "rounds_per_sec",
+			wantErr: "schema",
+		},
+		{
+			name:    "missing kind",
+			body:    strings.Replace(goodSnap, `"kind": "hollow-scale",`, "", 1),
+			require: "rounds_per_sec",
+			wantErr: "kind",
+		},
+		{
+			name:    "not JSON at all",
+			body:    "rounds_per_sec: plenty\n",
+			require: "rounds_per_sec",
+			wantErr: "invalid character",
+		},
+		{
+			name:    "empty require list passes any valid snapshot",
+			body:    goodSnap,
+			require: "",
+			wantErr: "",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			err := runCheck(writeSnap(t, tc.body), tc.require, &out)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("runCheck() = %v, want nil\noutput:\n%s", err, out.String())
+				}
+			} else {
+				if err == nil {
+					t.Fatalf("runCheck() = nil, want error containing %q\noutput:\n%s", tc.wantErr, out.String())
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("runCheck() error %q does not contain %q", err, tc.wantErr)
+				}
+			}
+			for _, want := range tc.wantOutput {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("output missing %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+
+	if _, err := os.Stat(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("sanity: expected missing file")
+	}
+	if err := runCheck(filepath.Join(t.TempDir(), "nope.json"), "x", &strings.Builder{}); err == nil {
+		t.Fatal("runCheck on a missing file should error")
+	}
+}
