@@ -52,6 +52,13 @@ func main() {
 		coreName = flag.String("core", "incremental", "tetris schedule core: incremental | reference | parallel")
 		workers  = flag.Int("sched-workers", 0, "parallel core pool size (0 = GOMAXPROCS; needs -core=parallel)")
 		shards   = flag.Int("shards", 1, "scheduler shards (>1 boots the two-level sharded RM)")
+
+		connTimeout = flag.Duration("conn-timeout", 0, "per-read/write deadline on RM connection handlers (0 = 2m default)")
+		tenant      = flag.String("tenant", "", "tenant name stamped on submitted jobs (empty = anonymous default tenant)")
+		quotaJobs   = flag.Int("tenant-quota-jobs", 0, "per-tenant queued-job quota; >0 enables the admission front door")
+		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant submit rate limit, jobs/sec (0 = unlimited; needs -tenant-quota-jobs)")
+		shedHigh    = flag.Int("shed-highwater", 0, "unfinished-job backlog where priority shedding starts (0 = off; needs -tenant-quota-jobs)")
+		shedLimit   = flag.Int("shed-limit", 0, "backlog where every submission sheds (0 = 2x highwater)")
 	)
 	flag.Parse()
 	syncPolicy, err := journal.ParsePolicy(*fsyncMode)
@@ -86,6 +93,17 @@ func main() {
 	default:
 		log.Fatalf("unknown core %q (want incremental, reference or parallel)", *coreName)
 	}
+	// Admission front door: enabled when a per-tenant quota is set.
+	var admCfg *rm.AdmissionConfig
+	if *quotaJobs > 0 {
+		admCfg = &rm.AdmissionConfig{
+			Defaults:      rm.TenantLimits{MaxQueuedJobs: *quotaJobs, SubmitRate: *tenantRate},
+			ShedHighWater: *shedHigh,
+			ShedLimit:     *shedLimit,
+		}
+	} else if *tenantRate > 0 || *shedHigh > 0 {
+		log.Fatal("-tenant-rate/-shed-highwater need -tenant-quota-jobs to enable admission")
+	}
 	// srv is the single global RM or, with -shards > 1, the two-level
 	// sharded RM; both speak the same wire protocol.
 	var srv rmServer
@@ -98,6 +116,8 @@ func main() {
 			JournalDir:    *journalDir,
 			JournalSync:   syncPolicy,
 			SnapshotEvery: *snapEvery,
+			Admission:     admCfg,
+			ConnTimeout:   *connTimeout,
 			Metrics:       reg,
 			Logger:        logger,
 		})
@@ -110,6 +130,8 @@ func main() {
 			JournalDir:    *journalDir,
 			JournalSync:   syncPolicy,
 			SnapshotEvery: *snapEvery,
+			Admission:     admCfg,
+			ConnTimeout:   *connTimeout,
 			Metrics:       reg,
 		})
 	}
@@ -212,7 +234,7 @@ func main() {
 		amWG.Add(1)
 		go func() {
 			defer amWG.Done()
-			res, err := am.Run(ctx, am.Config{RMAddr: srv.Addr(), Job: j, Metrics: reg})
+			res, err := am.Run(ctx, am.Config{RMAddr: srv.Addr(), Job: j, Tenant: *tenant, Metrics: reg})
 			if err != nil {
 				if ctx.Err() == nil {
 					log.Printf("job %d: %v", j.ID, err)

@@ -59,6 +59,15 @@ func main() {
 		coreName    = flag.String("core", "incremental", "tetris schedule core: incremental | reference | parallel")
 		shards      = flag.Int("shards", 1, "scheduler shards (>1 boots the two-level sharded RM)")
 		verbose     = flag.Bool("v", false, "verbose RM/fleet logging")
+
+		tenants      = flag.Int("tenants", 0, "enable the admission front door and run a submission storm drawn from this many tenants (0 = off)")
+		stormWorkers = flag.Int("storm-workers", 8, "concurrent storm submission connections")
+		stormBatch   = flag.Int("storm-batch", 16, "jobs per storm submit batch")
+		stormRate    = flag.Float64("storm-rate", 0, "cap on storm jobs/sec across workers (0 = unthrottled)")
+		quotaJobs    = flag.Int("tenant-quota-jobs", 50, "per-tenant queued-job quota")
+		tenantRate   = flag.Float64("tenant-rate", 0, "per-tenant submit rate limit in jobs/sec (0 = off)")
+		shedHigh     = flag.Int("shed-highwater", 2000, "admitted backlog where load shedding starts (0 = off)")
+		shedLimit    = flag.Int("shed-limit", 0, "backlog where every submission sheds (0 = 2x highwater)")
 	)
 	flag.Parse()
 	if *crashFrac > 0 && *nodeTimeout <= 0 {
@@ -84,6 +93,19 @@ func main() {
 	default:
 		log.Fatalf("unknown core %q (want incremental, reference or parallel)", *coreName)
 	}
+	// With -tenants the admission front door guards submissions: the
+	// storm's anonymous masses get default quotas while the AM fleet
+	// submits as the high-priority "fleet" tenant, so the real workload
+	// rides above the shed floor.
+	var admCfg *rm.AdmissionConfig
+	if *tenants > 0 {
+		admCfg = &rm.AdmissionConfig{
+			Defaults:      rm.TenantLimits{MaxQueuedJobs: *quotaJobs, SubmitRate: *tenantRate},
+			Tenants:       map[string]rm.TenantLimits{"fleet": {Priority: 9}},
+			ShedHighWater: *shedHigh,
+			ShedLimit:     *shedLimit,
+		}
+	}
 	// srv is either the single global RM or the two-level sharded RM;
 	// both speak the same wire protocol, so the fleet cannot tell.
 	var srv rmServer
@@ -97,6 +119,7 @@ func main() {
 			MaxTaskAttempts: 4,
 			Metrics:         reg,
 			Logger:          logger,
+			Admission:       admCfg,
 		})
 	} else {
 		srv, err = rm.New("127.0.0.1:0", rm.Config{
@@ -106,6 +129,7 @@ func main() {
 			MaxTaskAttempts: 4,
 			Metrics:         reg,
 			Logger:          logger,
+			Admission:       admCfg,
 		})
 	}
 	if err != nil {
@@ -170,7 +194,27 @@ func main() {
 		fleet.Run(runCtx)
 	}()
 
-	amRep := hollow.RunAMs(runCtx, hollow.AMConfig{
+	var stormRep hollow.StormReport
+	stormDone := make(chan struct{})
+	if *tenants > 0 {
+		go func() {
+			defer close(stormDone)
+			stormRep = hollow.RunStorm(runCtx, hollow.StormConfig{
+				RMAddr:    srv.Addr(),
+				Tenants:   *tenants,
+				Workers:   *stormWorkers,
+				Batch:     *stormBatch,
+				Rate:      *stormRate,
+				Seed:      *seed,
+				BaseJobID: 1 << 30, // disjoint from the trace workload's ids
+				Logger:    logger,
+			})
+		}()
+	} else {
+		close(stormDone)
+	}
+
+	amCfg := hollow.AMConfig{
 		RMAddr:    srv.Addr(),
 		Jobs:      wl.Jobs,
 		AMs:       *ams,
@@ -178,10 +222,15 @@ func main() {
 		TimeScale: *compression,
 		Seed:      *seed,
 		Logger:    logger,
-	})
+	}
+	if admCfg != nil {
+		amCfg.Tenant = "fleet"
+	}
+	amRep := hollow.RunAMs(runCtx, amCfg)
 	// Jobs are done (or the budget expired); stop the fleet and measure.
 	expire()
 	<-fleetDone
+	<-stormDone
 	elapsed := time.Since(start).Seconds()
 	cpuSec := processCPU() - cpu0
 	fr := fleet.Report()
@@ -259,6 +308,27 @@ func main() {
 	for k, v := range perShard {
 		snap.Metrics[k] = v
 	}
+	if *tenants > 0 {
+		att := float64(stormRep.Attempts)
+		snap.Config["tenants"] = strconv.Itoa(*tenants)
+		snap.Config["storm_workers"] = strconv.Itoa(*stormWorkers)
+		snap.Config["storm_batch"] = strconv.Itoa(*stormBatch)
+		snap.Config["tenant_quota_jobs"] = strconv.Itoa(*quotaJobs)
+		snap.Config["shed_highwater"] = strconv.Itoa(*shedHigh)
+		snap.Metrics["admission_per_sec"] = safeDiv(float64(stormRep.Admitted+stormRep.Rejected), elapsed)
+		snap.Metrics["submit_p50_seconds"] = stormRep.SubmitP50
+		snap.Metrics["submit_p99_seconds"] = stormRep.SubmitP99
+		snap.Metrics["storm_attempts_total"] = att
+		snap.Metrics["storm_admitted_total"] = float64(stormRep.Admitted)
+		snap.Metrics["storm_rejected_total"] = float64(stormRep.Rejected)
+		snap.Metrics["storm_shed_total"] = float64(stormRep.Shed)
+		snap.Metrics["storm_rate_limited_total"] = float64(stormRep.RateLimited)
+		snap.Metrics["storm_quota_total"] = float64(stormRep.Quota)
+		snap.Metrics["storm_errors_total"] = float64(stormRep.Errors)
+		snap.Metrics["storm_batches_total"] = float64(stormRep.Batches)
+		snap.Metrics["shed_rate"] = safeDiv(float64(stormRep.Shed), att)
+		snap.Metrics["fleet_throttled_total"] = float64(amRep.Throttled)
+	}
 	out := *outDir + "/BENCH_scale_" + *scenario + ".json"
 	if err := snap.WriteFile(out); err != nil {
 		log.Fatalf("tetris-hollow: %v", err)
@@ -283,6 +353,13 @@ func main() {
 		100*safeDiv(float64(fr.DeltaBeats), float64(fr.Beats)))
 	fmt.Printf("  process CPU         %.2fs (%.4fms per node per sec)\n",
 		cpuSec, 1e3*cpuSec/float64(*nodes)/elapsed)
+	if *tenants > 0 {
+		fmt.Printf("  admission           %.0f verdicts/sec — %d admitted, %d rejected (%d shed, %d rate-limited, %d quota)\n",
+			snap.Metrics["admission_per_sec"], stormRep.Admitted, stormRep.Rejected,
+			stormRep.Shed, stormRep.RateLimited, stormRep.Quota)
+		fmt.Printf("  submit RTT          p50 %.3fms  p99 %.3fms  (%d batches, %d transport errors)\n",
+			stormRep.SubmitP50*1e3, stormRep.SubmitP99*1e3, stormRep.Batches, stormRep.Errors)
+	}
 	fmt.Printf("  snapshot            %s\n", out)
 	if err := srv.VerifyLedger(); err != nil {
 		log.Fatalf("tetris-hollow: ledger check failed: %v", err)

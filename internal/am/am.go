@@ -20,13 +20,18 @@ import (
 type Config struct {
 	RMAddr string
 	Job    *workload.Job
+	// Tenant names the submitting principal for the RM's admission gate
+	// and quota accounting. Empty means the anonymous default tenant.
+	Tenant string
 	// Poll interval (default 50 ms).
 	Poll time.Duration
 	// MaxReconnects bounds consecutive failed reconnect attempts after
 	// the RM link drops mid-poll (exponential backoff with jitter between
-	// tries). 0 means the default of 10; negative disables reconnection.
-	// The initial dial and submission are never retried: a job that
-	// cannot even be submitted should fail fast.
+	// tries), and consecutive transient admission rejections of the
+	// initial submission. 0 means the default of 10; negative disables
+	// both. The initial dial and transport failures during submission are
+	// never retried: a job that cannot even reach the RM should fail
+	// fast.
 	MaxReconnects int
 	// ReconnectWindow additionally caps the total backoff delay spent on
 	// consecutive reconnect attempts (the faults.Backoff max-elapsed
@@ -43,6 +48,7 @@ type amMetrics struct {
 	pollRTT    *telemetry.Histogram
 	reconnects *telemetry.Counter
 	submitted  *telemetry.Counter
+	throttled  *telemetry.Counter
 	finished   *telemetry.Counter
 	failed     *telemetry.Counter
 }
@@ -55,6 +61,7 @@ func newAMMetrics(reg *telemetry.Registry) *amMetrics {
 		pollRTT:    reg.Histogram("tetris_am_poll_rtt_seconds", "AM progress-poll round-trip time to the RM."),
 		reconnects: reg.Counter("tetris_am_reconnects_total", "Reconnect attempts after a lost RM link."),
 		submitted:  reg.Counter("tetris_am_jobs_submitted_total", "Jobs submitted (first acceptance only, not resubmissions)."),
+		throttled:  reg.Counter("tetris_am_submit_throttled_total", "Transient admission rejections honored with backoff before resubmitting."),
 		finished:   reg.Counter("tetris_am_jobs_finished_total", "Jobs observed finishing successfully."),
 		failed:     reg.Counter("tetris_am_jobs_failed_total", "Jobs observed failing (attempt cap exhausted)."),
 	}
@@ -119,8 +126,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		maxRetry = 10
 	}
 	met := newAMMetrics(cfg.Metrics)
-	// The initial dial and submission fail fast: a job that cannot even
-	// be submitted should surface immediately.
+	// The initial dial fails fast: a job that cannot even reach the RM
+	// should surface immediately. Transient admission rejections
+	// (rate-limit, quota, overload shed) are honored with jittered
+	// backoff and resubmitted; permanent rejections fail at once.
 	conn, err := dialRM(ctx, cfg.RMAddr)
 	if err != nil {
 		return nil, fmt.Errorf("am: dial: %w", err)
@@ -128,18 +137,40 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	defer func() { conn.close() }()
 
 	start := time.Now()
-	submitMsg := &wire.Message{Type: wire.TypeSubmitJob, SubmitJob: &wire.SubmitJob{Job: cfg.Job}}
-	reply, err := conn.call(submitMsg)
-	if err != nil {
-		return nil, fmt.Errorf("am: submit: %w", err)
-	}
-	if reply.Type == wire.TypeError {
-		return nil, fmt.Errorf("am: rm rejected job: %s", reply.Error)
-	}
-	met.submitted.Inc()
-
 	bo := faults.NewBackoff(100*time.Millisecond, 5*time.Second, int64(cfg.Job.ID)+1)
 	bo.MaxElapsed = cfg.ReconnectWindow
+	for {
+		reply, err := conn.call(submitMsg(cfg))
+		if err != nil {
+			return nil, fmt.Errorf("am: submit: %w", err)
+		}
+		if reply.Type == wire.TypeError {
+			return nil, fmt.Errorf("am: rm rejected job: %s", reply.Error)
+		}
+		rej := reply.SubmitReject
+		if reply.Type != wire.TypeSubmitReject || rej == nil {
+			break // accepted
+		}
+		if rej.RetryAfter <= 0 {
+			return nil, fmt.Errorf("am: rm rejected job (%s): %s", rej.Code, rej.Reason)
+		}
+		if maxRetry < 0 || bo.Attempts() >= maxRetry {
+			return nil, fmt.Errorf("am: rm still rejecting after %d submit attempts (%s): %s", bo.Attempts(), rej.Code, rej.Reason)
+		}
+		met.throttled.Inc()
+		d := waitFor(bo, rej.RetryAfter)
+		if bo.Exhausted() {
+			return nil, fmt.Errorf("am: rm still rejecting after %v of submit backoff (%s): %s", bo.Elapsed(), rej.Code, rej.Reason)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(d):
+		}
+	}
+	met.submitted.Inc()
+	bo.Reset()
+
 	ticker := time.NewTicker(cfg.Poll)
 	defer ticker.Stop()
 	for {
@@ -190,12 +221,14 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 // or the RM definitively rejects the resubmission.
 func reconnect(ctx context.Context, cfg Config, bo *faults.Backoff, maxRetry int, met *amMetrics, cause error) (*rmConn, error) {
 	lastErr := cause
+	hint := 0.0
 	for {
 		if bo.Attempts() >= maxRetry {
 			return nil, fmt.Errorf("am: rm unreachable after %d reconnect attempts: %w", bo.Attempts(), lastErr)
 		}
 		met.reconnects.Inc()
-		d := bo.Next()
+		d := waitFor(bo, hint)
+		hint = 0
 		if bo.Exhausted() {
 			return nil, fmt.Errorf("am: rm unreachable after %v of reconnect backoff: %w", bo.Elapsed(), lastErr)
 		}
@@ -212,7 +245,7 @@ func reconnect(ctx context.Context, cfg Config, bo *faults.Backoff, maxRetry int
 			lastErr = err
 			continue
 		}
-		reply, err := c.call(&wire.Message{Type: wire.TypeSubmitJob, SubmitJob: &wire.SubmitJob{Job: cfg.Job}})
+		reply, err := c.call(submitMsg(cfg))
 		if err != nil {
 			c.close()
 			if ctx.Err() != nil {
@@ -225,6 +258,34 @@ func reconnect(ctx context.Context, cfg Config, bo *faults.Backoff, maxRetry int
 			c.close()
 			return nil, fmt.Errorf("am: rm rejected resubmission: %s", reply.Error)
 		}
+		if rej := reply.SubmitReject; reply.Type == wire.TypeSubmitReject && rej != nil {
+			c.close()
+			if rej.RetryAfter <= 0 {
+				return nil, fmt.Errorf("am: rm rejected resubmission (%s): %s", rej.Code, rej.Reason)
+			}
+			met.throttled.Inc()
+			lastErr = fmt.Errorf("am: admission %s: %s", rej.Code, rej.Reason)
+			hint = rej.RetryAfter
+			continue
+		}
 		return c, nil
 	}
+}
+
+// submitMsg builds the job submission frame, stamped with the
+// configured tenant.
+func submitMsg(cfg Config) *wire.Message {
+	return &wire.Message{Type: wire.TypeSubmitJob, SubmitJob: &wire.SubmitJob{Job: cfg.Job, Tenant: cfg.Tenant}}
+}
+
+// waitFor returns the delay before the next submit attempt: the backoff
+// schedule's next step, raised to the RM's RetryAfter hint (re-jittered,
+// so a fleet throttled together does not resubmit together) when the
+// hint is longer.
+func waitFor(bo *faults.Backoff, retryAfter float64) time.Duration {
+	d := bo.Next()
+	if hint := time.Duration(retryAfter * float64(time.Second)); hint > d {
+		d = hint + time.Duration(0.2*float64(hint)*bo.Rand.Float64())
+	}
+	return d
 }

@@ -29,6 +29,9 @@ type AMConfig struct {
 	// TimeScale divides trace arrival seconds into wall seconds, the
 	// same role as NM time compression (default 50).
 	TimeScale float64
+	// Tenant names the submitting principal stamped on every submission
+	// for the RM's admission gate. Empty means the anonymous tenant.
+	Tenant string
 	// Seed drives reconnect jitter (default 1).
 	Seed int64
 	// Logger for diagnostics; nil discards.
@@ -39,7 +42,8 @@ type AMConfig struct {
 type AMReport struct {
 	Submitted int
 	Finished  int
-	Failed    int // jobs the RM abandoned (attempt cap exhausted)
+	Failed    int // jobs the RM abandoned (attempt cap exhausted) or rejected outright
+	Throttled int // transient admission rejections honored with a later retry
 	Polls     uint64
 }
 
@@ -47,6 +51,7 @@ type AMReport struct {
 type amJob struct {
 	job       *workload.Job
 	submitAt  time.Duration
+	retryAt   time.Duration // earliest resubmit after an admission throttle
 	submitted bool
 	done      bool
 	failed    bool
@@ -110,6 +115,7 @@ func RunAMs(ctx context.Context, cfg AMConfig) AMReport {
 			report.Submitted += r.Submitted
 			report.Finished += r.Finished
 			report.Failed += r.Failed
+			report.Throttled += r.Throttled
 			report.Polls += r.Polls
 			mu.Unlock()
 		}(i, jobs)
@@ -124,16 +130,17 @@ func runAMWorker(ctx context.Context, cfg AMConfig, idx int, start time.Time, jo
 	var rep AMReport
 	bo := faults.NewBackoff(100*time.Millisecond, 5*time.Second, cfg.Seed+int64(idx)+1)
 	var conn net.Conn
-	defer func() {
+	var unarm func() bool // releases the ctx-cancel deadline on the live conn
+	closeConn := func() {
 		if conn != nil {
-			conn.Close()
-		}
-	}()
-	redial := func() bool {
-		if conn != nil {
+			unarm()
 			conn.Close()
 			conn = nil
 		}
+	}
+	defer closeConn()
+	redial := func() bool {
+		closeConn()
 		for ctx.Err() == nil {
 			d := net.Dialer{}
 			c, err := d.DialContext(ctx, "tcp", cfg.RMAddr)
@@ -146,6 +153,10 @@ func runAMWorker(ctx context.Context, cfg AMConfig, idx int, start time.Time, jo
 					}
 				}
 				conn = c
+				// Unblock any in-flight Read the instant the run budget
+				// expires — without this the worker parks in Read until the
+				// overloaded RM gets around to replying.
+				unarm = context.AfterFunc(ctx, func() { c.SetDeadline(time.Now()) })
 				bo.Reset()
 				return true
 			}
@@ -170,8 +181,7 @@ func runAMWorker(ctx context.Context, cfg AMConfig, idx int, start time.Time, jo
 			if ctx.Err() != nil {
 				return nil, false
 			}
-			conn.Close()
-			conn = nil
+			closeConn()
 		}
 		return nil, false
 	}
@@ -186,8 +196,8 @@ func runAMWorker(ctx context.Context, cfg AMConfig, idx int, start time.Time, jo
 				continue
 			}
 			outstanding++
-			if !aj.submitted && now >= aj.submitAt {
-				reply, ok := call(&wire.Message{Type: wire.TypeSubmitJob, SubmitJob: &wire.SubmitJob{Job: aj.job}})
+			if !aj.submitted && now >= aj.submitAt && now >= aj.retryAt {
+				reply, ok := call(&wire.Message{Type: wire.TypeSubmitJob, SubmitJob: &wire.SubmitJob{Job: aj.job, Tenant: cfg.Tenant}})
 				if !ok {
 					return rep
 				}
@@ -195,6 +205,19 @@ func runAMWorker(ctx context.Context, cfg AMConfig, idx int, start time.Time, jo
 					cfg.Logger.Printf("hollow: am %d: job %d rejected: %s", idx, aj.job.ID, reply.Error)
 					aj.done, aj.failed = true, true
 					rep.Failed++
+					continue
+				}
+				if rej := reply.SubmitReject; reply.Type == wire.TypeSubmitReject && rej != nil {
+					if rej.RetryAfter <= 0 {
+						cfg.Logger.Printf("hollow: am %d: job %d rejected (%s): %s", idx, aj.job.ID, rej.Code, rej.Reason)
+						aj.done, aj.failed = true, true
+						rep.Failed++
+						continue
+					}
+					// Transient admission throttle: honor the RM's hint
+					// and retry on a later pass.
+					aj.retryAt = now + time.Duration(rej.RetryAfter*float64(time.Second))
+					rep.Throttled++
 					continue
 				}
 				aj.submitted = true

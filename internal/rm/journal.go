@@ -57,6 +57,9 @@ type event struct {
 
 	// submit
 	Job *workload.Job `json:"job,omitempty"`
+	// Tenant owns the submitted job (admission); pre-admission journals
+	// decode it as "" — the anonymous default tenant.
+	Tenant string `json:"tenant,omitempty"`
 
 	// launch / complete
 	Task workload.TaskID `json:"task,omitempty"`
@@ -116,7 +119,7 @@ func (s *Server) applyEvent(ev *event) error {
 			return fmt.Errorf("submit event without job")
 		}
 		if _, ok := s.jobs[ev.Job.ID]; !ok {
-			s.applySubmit(ev.Job)
+			s.applySubmit(ev.Job, ev.Tenant)
 		}
 	case evLaunch:
 		if s.jobs[ev.Task.Job] == nil || s.machines[ev.Machine] == nil {
@@ -254,6 +257,9 @@ type jobSnap struct {
 	Finished   bool                    `json:"finished,omitempty"`
 	Failed     bool                    `json:"failed,omitempty"`
 	FinishedAt float64                 `json:"finishedAt,omitempty"`
+	// Tenant is the job's admission owner — durable so recovery rebuilds
+	// per-tenant accounting (quota state) from snapshots alone.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 type launchSnap struct {
@@ -303,6 +309,7 @@ func (s *Server) encodeStateLocked() []byte {
 		js := jobSnap{
 			Job: ji.state.Job, Status: ji.state.Status.Snapshot(), Alloc: ji.state.Alloc,
 			Finished: ji.finished, Failed: ji.failed, FinishedAt: ji.finishedAt,
+			Tenant: ji.tenant,
 		}
 		for _, tid := range launchedIDs(ji, -1) {
 			rec := ji.launched[tid]
@@ -364,6 +371,13 @@ func (s *Server) restoreState(data []byte) error {
 			finished:   js.Finished,
 			failed:     js.Failed,
 			finishedAt: js.FinishedAt,
+			tenant:     js.Tenant,
+			demand:     jobDemand(js.Job),
+		}
+		if !js.Finished && s.adm != nil {
+			// Re-adopt the unfinished job's tenant accounting so quotas
+			// hold across the restart (finished jobs were released live).
+			s.adm.adopt(js.Tenant, ji.demand)
 		}
 		for _, ls := range js.Launched {
 			rec := launchRecord{machine: ls.Machine, local: ls.Local}

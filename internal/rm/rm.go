@@ -60,6 +60,22 @@ type Config struct {
 	// FaultLogCap bounds the in-memory crash/recovery log (a ring
 	// buffer; evictions are counted). Default faults.DefaultRingCap.
 	FaultLogCap int
+	// Admission enables the multi-tenant front door (admission.go):
+	// per-tenant quotas, token-bucket submit rate limiting, and
+	// overload shedding, all answered with typed wire.SubmitReject
+	// frames. Nil admits everything (the pre-admission behavior).
+	Admission *AdmissionConfig
+	// ConnTimeout bounds how long a connection handler waits on a single
+	// read or write before dropping the connection, so a stalled or
+	// half-dead peer cannot wedge a handler goroutine; peers recover
+	// through their normal redial/resync paths. 0 means the 2-minute
+	// default; negative disables deadlines.
+	ConnTimeout time.Duration
+	// sharedAdmission injects an existing front door instead of building
+	// one from Admission: the sharded RM gates at its top layer and hands
+	// every shard core the same instance so accounting (adopt/release,
+	// journal replay) lands in shared tenant state without double-gating.
+	sharedAdmission *admission
 	// Metrics receives the RM's telemetry (placements, heartbeat and
 	// fsync latencies, node liveness, ...; see metrics.go). Nil records
 	// into a private registry, exposing nothing.
@@ -99,6 +115,12 @@ type Server struct {
 	nmTimes  stats.Online
 	amTimes  stats.Online
 	metrics  *rmMetrics
+	// adm is the admission front door; nil admits everything. gate is
+	// true when this server runs the admission checks itself (flat
+	// server) and false when an enclosing sharded top layer already
+	// gated and this core only carries the accounting.
+	adm  *admission
+	gate bool
 
 	jnl             *journal.Journal // nil when journaling is off
 	replaying       bool             // suppress journal writes during replay
@@ -119,6 +141,10 @@ type jobInfo struct {
 	finished   bool
 	failed     bool // abandoned: a task exhausted its attempt cap
 	finishedAt float64
+	// tenant owns the job (admission); demand is the admission charge
+	// (sum of task peaks) released when the job finishes.
+	tenant string
+	demand resources.Vector
 }
 
 type launchRecord struct {
@@ -191,6 +217,16 @@ func newCore(cfg Config) (*Server, error) {
 	s.registerGauges(cfg.Metrics)
 	if s.cfg.SnapshotEvery <= 0 {
 		s.cfg.SnapshotEvery = 4096
+	}
+	switch {
+	case cfg.sharedAdmission != nil:
+		s.adm = cfg.sharedAdmission // sharded core: top layer gates
+	case cfg.Admission != nil:
+		s.adm = newAdmission(*cfg.Admission, cfg.Metrics)
+		s.gate = true
+	}
+	if s.cfg.ConnTimeout == 0 {
+		s.cfg.ConnTimeout = 2 * time.Minute
 	}
 	if cfg.NodeTimeout > 0 {
 		s.detector = faults.NewDetector(cfg.NodeTimeout.Seconds())
@@ -306,9 +342,13 @@ func (s *Server) serve(conn net.Conn) {
 		s.connMu.Unlock()
 	}()
 	for {
+		// Read/write deadlines: a stalled or half-dead peer times out and
+		// the connection drops — NMs/AMs recover through their redial and
+		// resync paths, and no handler goroutine is wedged forever.
+		armDeadline(conn, s.cfg.ConnTimeout)
 		m, err := wire.Read(conn)
 		if err != nil {
-			return // peer closed or protocol error
+			return // peer closed, stalled past the deadline, or protocol error
 		}
 		var reply *wire.Message
 		switch m.Type {
@@ -318,6 +358,8 @@ func (s *Server) serve(conn net.Conn) {
 			reply = s.HandleNMHeartbeat(m.NMHeartbeat)
 		case wire.TypeSubmitJob:
 			reply = s.handleSubmitJob(m.SubmitJob)
+		case wire.TypeSubmitBatch:
+			reply = s.handleSubmitBatch(m.SubmitBatch)
 		case wire.TypeAMHeartbeat:
 			reply = s.HandleAMHeartbeat(m.AMHeartbeat)
 		case wire.TypeClusterStatus:
@@ -325,9 +367,18 @@ func (s *Server) serve(conn net.Conn) {
 		default:
 			reply = &wire.Message{Type: wire.TypeError, Error: fmt.Sprintf("unknown message type %q", m.Type)}
 		}
+		armDeadline(conn, s.cfg.ConnTimeout)
 		if err := wire.Write(conn, reply); err != nil {
 			return
 		}
+	}
+}
+
+// armDeadline sets the connection's absolute I/O deadline d from now
+// (no-op when deadlines are disabled with a negative timeout).
+func armDeadline(conn net.Conn, d time.Duration) {
+	if d > 0 {
+		conn.SetDeadline(time.Now().Add(d))
 	}
 }
 
@@ -382,38 +433,156 @@ func (s *Server) handleSubmitJob(r *wire.SubmitJob) *wire.Message {
 		return errMsg("missing job payload")
 	}
 	if err := r.Job.Validate(); err != nil {
-		return errMsg(fmt.Sprintf("invalid job: %v", err))
+		return rejectMsg(&wire.SubmitReject{
+			JobID: r.Job.ID, Tenant: r.Tenant, Code: wire.RejectInvalid,
+			Reason: fmt.Sprintf("invalid job: %v", err),
+		})
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if ji, ok := s.jobs[r.Job.ID]; ok {
+	return s.submitLocked(r.Job, r.Tenant, false)
+}
+
+// submitLocked admits one validated job: idempotence/conflict check,
+// admission gate (when this server runs one and the enclosing layer did
+// not already reserve), journal, apply. reserved marks a submission the
+// sharded top layer already passed through admit — on a duplicate the
+// reservation is rolled back here, where the duplicate is discovered.
+// Caller holds s.mu.
+func (s *Server) submitLocked(j *workload.Job, tenant string, reserved bool) *wire.Message {
+	if ji, ok := s.jobs[j.ID]; ok {
 		// Idempotent resubmission: a job manager that lost its RM link
 		// re-submits on reconnect. The same definition is deduplicated
 		// (reply with current progress, as if it were a poll); a
 		// different job under the same ID is a real conflict.
-		if sameJob(ji.state.Job, r.Job) {
-			return s.amReplyLocked(r.Job.ID, ji)
+		if reserved && s.adm != nil {
+			s.adm.cancel(tenant, jobDemand(j))
 		}
-		return errMsg(fmt.Sprintf("job %d already submitted with a different definition", r.Job.ID))
+		if sameJob(ji.state.Job, j) {
+			return s.amReplyLocked(j.ID, ji)
+		}
+		return rejectMsg(&wire.SubmitReject{
+			JobID: j.ID, Tenant: tenant, Code: wire.RejectConflict,
+			Reason: fmt.Sprintf("job %d already submitted with a different definition", j.ID),
+		})
 	}
-	if r.Job.Weight <= 0 {
-		r.Job.Weight = 1
+	if s.gate && s.adm != nil && !reserved {
+		if rej := s.adm.admit(tenant, j.ID, jobDemand(j)); rej != nil {
+			return rejectMsg(rej)
+		}
+		reserved = true
 	}
-	s.journal(&event{Kind: evSubmit, Time: s.now(), Job: r.Job})
-	s.applySubmit(r.Job)
-	s.log.Printf("rm: job %d submitted (%d tasks)", r.Job.ID, r.Job.NumTasks())
-	return &wire.Message{Type: wire.TypeAMReply, AMReply: &wire.AMReply{JobID: r.Job.ID, Total: r.Job.NumTasks()}}
+	if s.adm != nil && !reserved {
+		// No gate anywhere admitted this job (admission was enabled after
+		// the fact, or a shard core is driven directly in tests): account
+		// it so release stays balanced.
+		s.adm.adopt(tenant, jobDemand(j))
+	}
+	if j.Weight <= 0 {
+		j.Weight = 1
+	}
+	s.journal(&event{Kind: evSubmit, Time: s.now(), Job: j, Tenant: tenant})
+	s.applySubmit(j, tenant)
+	s.log.Printf("rm: job %d submitted by tenant %q (%d tasks)", j.ID, tenant, j.NumTasks())
+	return &wire.Message{Type: wire.TypeAMReply, AMReply: &wire.AMReply{JobID: j.ID, Total: j.NumTasks()}}
 }
 
-// applySubmit registers a validated, weight-normalized job. Shared by
-// the live path and journal replay; caller holds s.mu.
-func (s *Server) applySubmit(j *workload.Job) {
-	s.jobs[j.ID] = &jobInfo{
+// handleSubmitBatch is the bulk-ingest path: every job in the batch is
+// admitted independently under one lock acquisition, their submit events
+// stream to the journal's writer goroutine, and a single Sync barrier —
+// one fsync for the whole batch — makes them durable before the reply.
+// That makes an acked batch stronger than an acked single submit (whose
+// append is asynchronous under the interval fsync policy) while paying
+// the fsync once per batch instead of once per job.
+func (s *Server) handleSubmitBatch(r *wire.SubmitBatch) *wire.Message {
+	if r == nil || len(r.Jobs) == 0 {
+		return errMsg("missing or empty submitBatch payload")
+	}
+	reply := &wire.SubmitBatchReply{Results: make([]wire.SubmitResult, 0, len(r.Jobs))}
+	s.mu.Lock()
+	for _, j := range r.Jobs {
+		reply.Results = append(reply.Results, s.submitOneOfBatchLocked(j, r.Tenant, false))
+	}
+	s.mu.Unlock()
+	if s.adm != nil {
+		s.adm.batches.Inc()
+		s.adm.batchJobs.Add(uint64(len(r.Jobs)))
+	}
+	if s.jnl != nil {
+		if err := s.jnl.Sync(); err != nil {
+			s.log.Printf("rm: batch journal sync: %v", err)
+		}
+	}
+	return &wire.Message{Type: wire.TypeSubmitBatchReply, SubmitBatchReply: reply}
+}
+
+// submitOneOfBatchLocked runs one batch entry through the same
+// validate/admit/journal pipeline as a single submit and flattens the
+// verdict into a SubmitResult. Caller holds s.mu.
+func (s *Server) submitOneOfBatchLocked(j *workload.Job, tenant string, reserved bool) wire.SubmitResult {
+	if j == nil {
+		return wire.SubmitResult{Reject: &wire.SubmitReject{
+			Tenant: tenant, Code: wire.RejectInvalid, Reason: "missing job in batch",
+		}}
+	}
+	if err := j.Validate(); err != nil {
+		if reserved && s.adm != nil {
+			s.adm.cancel(tenant, jobDemand(j))
+		}
+		return wire.SubmitResult{JobID: j.ID, Reject: &wire.SubmitReject{
+			JobID: j.ID, Tenant: tenant, Code: wire.RejectInvalid,
+			Reason: fmt.Sprintf("invalid job: %v", err),
+		}}
+	}
+	m := s.submitLocked(j, tenant, reserved)
+	res := wire.SubmitResult{JobID: j.ID}
+	switch m.Type {
+	case wire.TypeAMReply:
+		res.Total = m.AMReply.Total
+	case wire.TypeSubmitReject:
+		res.Reject = m.SubmitReject
+	default:
+		res.Reject = &wire.SubmitReject{JobID: j.ID, Tenant: tenant, Code: wire.RejectInvalid, Reason: m.Error}
+	}
+	return res
+}
+
+// syncJournal flushes and fsyncs this server's journal, if any — the
+// sharded batch path's per-shard durability barrier.
+func (s *Server) syncJournal() error {
+	if s.jnl == nil {
+		return nil
+	}
+	return s.jnl.Sync()
+}
+
+// applySubmit registers a validated, weight-normalized job under its
+// owning tenant. Shared by the live path and journal replay; during
+// replay it also re-adopts the tenant accounting, so quotas hold across
+// crash-restarts. Caller holds s.mu.
+func (s *Server) applySubmit(j *workload.Job, tenant string) {
+	ji := &jobInfo{
 		state:    &scheduler.JobState{Job: j, Status: workload.NewStatus(j)},
 		launched: make(map[workload.TaskID]launchRecord),
+		tenant:   tenant,
+		demand:   jobDemand(j),
 	}
-	if !s.replaying {
-		s.metrics.jobsSubmitted.Inc()
+	s.jobs[j.ID] = ji
+	if s.replaying {
+		if s.adm != nil {
+			s.adm.adopt(tenant, ji.demand)
+		}
+		return
+	}
+	s.metrics.jobsSubmitted.Inc()
+}
+
+// releaseTenant returns a finishing job's admission accounting. Callers
+// guarantee the job was unfinished until now (release runs exactly once
+// per admitted job). Caller holds s.mu.
+func (s *Server) releaseTenant(ji *jobInfo) {
+	if s.adm != nil {
+		s.adm.release(ji.tenant, ji.demand)
 	}
 }
 
@@ -520,6 +689,7 @@ func (s *Server) applyComplete(c wire.TaskCompletion, nodeID int, now float64) b
 	if ji.state.Status.Finished() {
 		ji.finished = true
 		ji.finishedAt = now
+		s.releaseTenant(ji)
 		if !s.replaying {
 			s.metrics.jobsFinished.Inc()
 		}
@@ -653,6 +823,9 @@ func launchedIDs(ji *jobInfo, id int) []workload.TaskID {
 // are released, queued launches dropped, and the AM learns via
 // AMReply.Failed. Caller holds s.mu.
 func (s *Server) failJob(jobID int, ji *jobInfo, now float64) {
+	if !ji.finished {
+		s.releaseTenant(ji) // release exactly once, even if failJob re-runs
+	}
 	ji.failed = true
 	ji.finished = true
 	ji.finishedAt = now
@@ -710,10 +883,21 @@ func (s *Server) runScheduler() {
 			v.Machines = append(v.Machines, &scheduler.MachineState{ID: id, Down: true})
 		}
 	}
-	for id := 0; id <= maxJobID(s.jobs); id++ {
-		if ji, ok := s.jobs[id]; ok && !ji.finished {
-			v.Jobs = append(v.Jobs, ji.state)
+	// Deterministic job order. Sort the live keys rather than scanning a
+	// dense 0..max range: tenant storms submit with huge sparse IDs
+	// (e.g. a 1<<30 base), and a dense scan would walk every hole.
+	jobIDs := make([]int, 0, len(s.jobs))
+	for id, ji := range s.jobs {
+		if !ji.finished {
+			jobIDs = append(jobIDs, id)
 		}
+	}
+	sort.Ints(jobIDs)
+	var active []*jobInfo
+	for _, id := range jobIDs {
+		ji := s.jobs[id]
+		v.Jobs = append(v.Jobs, ji.state)
+		active = append(active, ji)
 	}
 	if len(v.Jobs) == 0 {
 		return
@@ -727,8 +911,10 @@ func (s *Server) runScheduler() {
 			return peak.Min(s.largestMachine()), dur
 		}
 	}
+	restoreWeights := s.applyTenantWeights(active)
 	t0 := time.Now()
 	asgs := s.cfg.Scheduler.Schedule(v)
+	restoreWeights()
 	s.metrics.scheduleRound.Observe(time.Since(t0).Seconds())
 	if ps, ok := parallelStats(s.cfg.Scheduler); ok && ps.Rounds > s.metrics.prevScatterRounds {
 		// The counters are cumulative; the delta is this round's scatter
@@ -772,22 +958,48 @@ func (s *Server) applyLaunch(tid workload.TaskID, machine int, local resources.V
 	ji.launched[tid] = rec
 }
 
+// applyTenantWeights layers hierarchical (tenant → job) fairness on the
+// existing f-knob: for the duration of one Schedule call, each active
+// job's fair-share weight becomes
+//
+//	base_j × tenantWeight(t) / Σ base of t's active jobs
+//
+// so tenants split the cluster in proportion to their configured
+// weights regardless of how many jobs each queued, and a tenant's share
+// is split among its jobs by the per-job weights the f-knob already
+// arbitrates. The mutation is strictly transient — the returned restore
+// puts the base weights back before anything is journaled or encoded,
+// keeping snapshots and digests on base weights (safe because every
+// scheduler core re-reads Job.Weight fresh each round). No-op without
+// admission. Caller holds s.mu.
+func (s *Server) applyTenantWeights(active []*jobInfo) func() {
+	if s.adm == nil || len(active) == 0 {
+		return func() {}
+	}
+	base := make([]float64, len(active))
+	sums := make(map[string]float64, 4)
+	for i, ji := range active {
+		base[i] = ji.state.Job.Weight
+		sums[ji.tenant] += base[i]
+	}
+	for i, ji := range active {
+		if sum := sums[ji.tenant]; sum > 0 {
+			ji.state.Job.Weight = base[i] * s.adm.tenantWeight(ji.tenant) / sum
+		}
+	}
+	return func() {
+		for i, ji := range active {
+			ji.state.Job.Weight = base[i]
+		}
+	}
+}
+
 func (s *Server) largestMachine() resources.Vector {
 	var biggest resources.Vector
 	for _, m := range s.machines {
 		biggest = biggest.Max(m.Capacity)
 	}
 	return biggest
-}
-
-func maxJobID(jobs map[int]*jobInfo) int {
-	max := -1
-	for id := range jobs {
-		if id > max {
-			max = id
-		}
-	}
-	return max
 }
 
 // HandleAMHeartbeat reports job progress. Exported for benchmarking.
@@ -918,15 +1130,45 @@ func (s *Server) RegisterMachine(id int, capacity resources.Vector) {
 	s.handleRegisterNM(&wire.RegisterNM{NodeID: id, Capacity: capacity})
 }
 
-// SubmitJob registers a job directly (without a socket).
+// SubmitJob registers a job directly (without a socket) under the
+// anonymous default tenant.
 func (s *Server) SubmitJob(j *workload.Job) error {
-	reply := s.handleSubmitJob(&wire.SubmitJob{Job: j})
-	if reply.Type == wire.TypeError {
+	return replyErr(s.handleSubmitJob(&wire.SubmitJob{Job: j}))
+}
+
+// SubmitJobAs registers a job directly under a tenant; admission-gated
+// when the front door is enabled.
+func (s *Server) SubmitJobAs(tenant string, j *workload.Job) error {
+	return replyErr(s.handleSubmitJob(&wire.SubmitJob{Job: j, Tenant: tenant}))
+}
+
+// SubmitBatch runs the bulk-ingest path directly (without a socket) and
+// returns the per-job verdicts.
+func (s *Server) SubmitBatch(tenant string, jobs []*workload.Job) ([]wire.SubmitResult, error) {
+	reply := s.handleSubmitBatch(&wire.SubmitBatch{Tenant: tenant, Jobs: jobs})
+	if reply.Type != wire.TypeSubmitBatchReply {
+		return nil, replyErr(reply)
+	}
+	return reply.SubmitBatchReply.Results, nil
+}
+
+// replyErr flattens a submit reply into an error: nil for acceptance,
+// a descriptive error for wire errors and typed rejections.
+func replyErr(reply *wire.Message) error {
+	switch reply.Type {
+	case wire.TypeError:
 		return fmt.Errorf("rm: %s", reply.Error)
+	case wire.TypeSubmitReject:
+		r := reply.SubmitReject
+		return fmt.Errorf("rm: submit rejected (%s): %s", r.Code, r.Reason)
 	}
 	return nil
 }
 
 func errMsg(text string) *wire.Message {
 	return &wire.Message{Type: wire.TypeError, Error: text}
+}
+
+func rejectMsg(r *wire.SubmitReject) *wire.Message {
+	return &wire.Message{Type: wire.TypeSubmitReject, SubmitReject: r}
 }

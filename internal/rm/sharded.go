@@ -70,6 +70,15 @@ type ShardedConfig struct {
 	// shard="<i>", plus the top layer's routing metrics.
 	Metrics *telemetry.Registry
 	Logger  *log.Logger
+	// Admission enables the multi-tenant front door at the top layer:
+	// submissions are gated (quota/rate/shed) once, before routing, and
+	// all shard cores share the same tenant accounting so per-tenant
+	// state is global even though jobs scatter across shard journals.
+	Admission *AdmissionConfig
+	// ConnTimeout bounds single reads/writes on the top layer's
+	// per-connection handlers (see Config.ConnTimeout). 0 means the
+	// 2-minute default; negative disables deadlines.
+	ConnTimeout time.Duration
 }
 
 // Sharded is a running two-level resource manager.
@@ -81,6 +90,10 @@ type Sharded struct {
 
 	mu       sync.Mutex
 	jobShard map[int]int // job ID → owning shard, pinned at admission
+
+	// adm is the shared admission front door (nil without Admission
+	// config): the top layer gates, shard cores carry the accounting.
+	adm *admission
 
 	routedJobs []*telemetry.Counter // per-shard admission counts
 	fallbacks  *telemetry.Counter   // jobs routed with no feasible shard
@@ -134,6 +147,14 @@ func newShardedCore(cfg ShardedConfig) (*Sharded, error) {
 	if g.log == nil {
 		g.log = log.New(discard{}, "", 0)
 	}
+	if cfg.Admission != nil {
+		// Built before any shard core so journal recovery inside newCore
+		// re-adopts recovered jobs into the shared tenant accounting.
+		g.adm = newAdmission(*cfg.Admission, cfg.Metrics)
+	}
+	if g.cfg.ConnTimeout == 0 {
+		g.cfg.ConnTimeout = 2 * time.Minute
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		sc := Config{
 			Scheduler:       cfg.NewScheduler(),
@@ -145,6 +166,8 @@ func newShardedCore(cfg ShardedConfig) (*Sharded, error) {
 			Metrics:         cfg.Metrics,
 			ShardLabel:      strconv.Itoa(i),
 			Logger:          cfg.Logger,
+			ConnTimeout:     cfg.ConnTimeout,
+			sharedAdmission: g.adm,
 		}
 		if cfg.NewEstimator != nil {
 			sc.Estimator = cfg.NewEstimator()
@@ -268,6 +291,7 @@ func (g *Sharded) serve(conn net.Conn) {
 	defer g.wg.Done()
 	defer conn.Close()
 	for {
+		armDeadline(conn, g.cfg.ConnTimeout)
 		m, err := wire.Read(conn)
 		if err != nil {
 			return
@@ -284,6 +308,8 @@ func (g *Sharded) serve(conn net.Conn) {
 			reply = g.HandleNMHeartbeat(m.NMHeartbeat)
 		case wire.TypeSubmitJob:
 			reply = g.handleSubmitJob(m.SubmitJob)
+		case wire.TypeSubmitBatch:
+			reply = g.handleSubmitBatch(m.SubmitBatch)
 		case wire.TypeAMHeartbeat:
 			reply = g.HandleAMHeartbeat(m.AMHeartbeat)
 		case wire.TypeClusterStatus:
@@ -292,6 +318,7 @@ func (g *Sharded) serve(conn net.Conn) {
 		default:
 			reply = &wire.Message{Type: wire.TypeError, Error: fmt.Sprintf("unknown message type %q", m.Type)}
 		}
+		armDeadline(conn, g.cfg.ConnTimeout)
 		if err := wire.Write(conn, reply); err != nil {
 			return
 		}
@@ -323,18 +350,90 @@ func (g *Sharded) HandleAMHeartbeat(hb *wire.AMHeartbeat) *wire.Message {
 	return g.shards[shard].HandleAMHeartbeat(hb)
 }
 
-// handleSubmitJob is admission: validate, route once, pin, forward. A
-// resubmission of a known job ID goes back to its pinned shard, whose
-// own idempotence/conflict logic answers — routing never flaps.
+// handleSubmitJob is admission: validate, gate (quota/rate/shed), route
+// once, pin, forward. A resubmission of a known job ID goes back to its
+// pinned shard, whose own idempotence/conflict logic answers — routing
+// never flaps and resubmissions never re-charge the tenant's quota. Two
+// racing first submissions of one ID may both reserve; the loser's
+// reservation is rolled back by the shard core when it discovers the
+// duplicate (submitLocked's reserved path), so quotas never leak.
 func (g *Sharded) handleSubmitJob(r *wire.SubmitJob) *wire.Message {
 	if r == nil || r.Job == nil {
 		return errMsg("missing job payload")
 	}
 	if err := r.Job.Validate(); err != nil {
-		return errMsg(fmt.Sprintf("invalid job: %v", err))
+		return rejectMsg(&wire.SubmitReject{
+			JobID: r.Job.ID, Tenant: r.Tenant, Code: wire.RejectInvalid,
+			Reason: fmt.Sprintf("invalid job: %v", err),
+		})
 	}
-	shard := g.routeJob(r.Job)
-	return g.shards[shard].handleSubmitJob(r)
+	g.mu.Lock()
+	shard, known := g.jobShard[r.Job.ID]
+	g.mu.Unlock()
+	if known {
+		return g.forwardSubmit(shard, r.Job, r.Tenant, false)
+	}
+	reserved := false
+	if g.adm != nil {
+		if rej := g.adm.admit(r.Tenant, r.Job.ID, jobDemand(r.Job)); rej != nil {
+			return rejectMsg(rej)
+		}
+		reserved = true
+	}
+	return g.forwardSubmit(g.routeJob(r.Job), r.Job, r.Tenant, reserved)
+}
+
+// forwardSubmit hands an admitted (or known) submission to its shard
+// core under that shard's lock.
+func (g *Sharded) forwardSubmit(shard int, j *workload.Job, tenant string, reserved bool) *wire.Message {
+	s := g.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.submitLocked(j, tenant, reserved)
+}
+
+// handleSubmitBatch is the sharded bulk-ingest path: each job is gated
+// at the top layer, routed, and applied on its shard; then every shard
+// that accepted work runs one journal Sync — one fsync per (batch,
+// shard) pair — before the combined reply is sent.
+func (g *Sharded) handleSubmitBatch(r *wire.SubmitBatch) *wire.Message {
+	if r == nil || len(r.Jobs) == 0 {
+		return errMsg("missing or empty submitBatch payload")
+	}
+	reply := &wire.SubmitBatchReply{Results: make([]wire.SubmitResult, 0, len(r.Jobs))}
+	touched := make(map[int]bool)
+	for _, j := range r.Jobs {
+		if j == nil {
+			reply.Results = append(reply.Results, wire.SubmitResult{Reject: &wire.SubmitReject{
+				Tenant: r.Tenant, Code: wire.RejectInvalid, Reason: "missing job in batch",
+			}})
+			continue
+		}
+		m := g.handleSubmitJob(&wire.SubmitJob{Job: j, Tenant: r.Tenant})
+		res := wire.SubmitResult{JobID: j.ID}
+		switch m.Type {
+		case wire.TypeAMReply:
+			res.Total = m.AMReply.Total
+			if shard, ok := g.JobShard(j.ID); ok {
+				touched[shard] = true
+			}
+		case wire.TypeSubmitReject:
+			res.Reject = m.SubmitReject
+		default:
+			res.Reject = &wire.SubmitReject{JobID: j.ID, Tenant: r.Tenant, Code: wire.RejectInvalid, Reason: m.Error}
+		}
+		reply.Results = append(reply.Results, res)
+	}
+	if g.adm != nil {
+		g.adm.batches.Inc()
+		g.adm.batchJobs.Add(uint64(len(r.Jobs)))
+	}
+	for shard := range touched {
+		if err := g.shards[shard].syncJournal(); err != nil {
+			g.log.Printf("rm: sharded: shard %d batch journal sync: %v", shard, err)
+		}
+	}
+	return &wire.Message{Type: wire.TypeSubmitBatchReply, SubmitBatchReply: reply}
 }
 
 // routeJob picks (or recalls) the owning shard for a job and pins it.
@@ -381,13 +480,24 @@ func (g *Sharded) RegisterMachine(id int, capacity resources.Vector) {
 	g.nodeShard(id).RegisterMachine(id, capacity)
 }
 
-// SubmitJob routes and registers a job directly (without a socket).
+// SubmitJob routes and registers a job directly (without a socket)
+// under the anonymous default tenant.
 func (g *Sharded) SubmitJob(j *workload.Job) error {
-	reply := g.handleSubmitJob(&wire.SubmitJob{Job: j})
-	if reply.Type == wire.TypeError {
-		return fmt.Errorf("rm: %s", reply.Error)
+	return replyErr(g.handleSubmitJob(&wire.SubmitJob{Job: j}))
+}
+
+// SubmitJobAs routes and registers a job directly under a tenant.
+func (g *Sharded) SubmitJobAs(tenant string, j *workload.Job) error {
+	return replyErr(g.handleSubmitJob(&wire.SubmitJob{Job: j, Tenant: tenant}))
+}
+
+// SubmitBatch runs the sharded bulk-ingest path directly.
+func (g *Sharded) SubmitBatch(tenant string, jobs []*workload.Job) ([]wire.SubmitResult, error) {
+	reply := g.handleSubmitBatch(&wire.SubmitBatch{Tenant: tenant, Jobs: jobs})
+	if reply.Type != wire.TypeSubmitBatchReply {
+		return nil, replyErr(reply)
 	}
-	return nil
+	return reply.SubmitBatchReply.Results, nil
 }
 
 // JobShard returns the shard a job was routed to, and whether the job

@@ -102,6 +102,24 @@ func (b *Bucket) Take(n float64) error {
 	}
 }
 
+// WaitHint reports how long until n tokens will be available at the
+// current refill rate: zero when they already are, and a capped
+// pessimistic hint when the bucket cannot ever satisfy the request
+// (zero rate, or n beyond the burst size). The RM's admission gate
+// stamps it on rate-limit rejections as the RetryAfter backoff hint.
+func (b *Bucket) WaitHint(n float64) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(b.now())
+	if n <= b.tokens {
+		return 0
+	}
+	if b.rate <= 0 || n > b.burst {
+		return time.Second
+	}
+	return time.Duration((n - b.tokens) / b.rate * float64(time.Second))
+}
+
 // SetRate changes the refill rate, e.g. when the scheduler adjusts a
 // task's allocation.
 func (b *Bucket) SetRate(rate float64) {

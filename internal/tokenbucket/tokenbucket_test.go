@@ -143,3 +143,85 @@ func TestConcurrentTryTakeConservesTokens(t *testing.T) {
 		t.Errorf("taken = %v, want exactly 1000", taken)
 	}
 }
+
+func TestWaitHint(t *testing.T) {
+	b, _ := newFake(10, 100)
+	if d := b.WaitHint(50); d != 0 {
+		t.Errorf("hint with tokens available = %v, want 0", d)
+	}
+	b.TryTake(100)
+	// 30 tokens at 10/s: 3 seconds away.
+	if d := b.WaitHint(30); d != 3*time.Second {
+		t.Errorf("hint for 30 tokens at 10/s = %v, want 3s", d)
+	}
+	// Beyond the burst: a capped pessimistic hint, not an unbounded wait.
+	if d := b.WaitHint(1000); d != time.Second {
+		t.Errorf("hint beyond burst = %v, want the 1s cap", d)
+	}
+	z, _ := newFake(0, 10)
+	z.TryTake(10)
+	if d := z.WaitHint(1); d != time.Second {
+		t.Errorf("hint at zero rate = %v, want the 1s cap", d)
+	}
+}
+
+// TestConcurrentMixedOps hammers every method from many goroutines under
+// the race detector: Take and TryTake racing SetRate and the read-side
+// accessors must stay data-race free and never hand out more tokens than
+// the refill schedule allows.
+func TestConcurrentMixedOps(t *testing.T) {
+	b := New(1e6, 1000) // fast refill so Take never parks for long
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				switch i % 4 {
+				case 0:
+					b.TryTake(float64(1 + i%7))
+				case 1:
+					if err := b.Take(float64(1 + i%5)); err != nil {
+						t.Errorf("Take: %v", err)
+					}
+				case 2:
+					b.SetRate(1e6 + float64(seed*i))
+				default:
+					b.Available()
+					b.WaitHint(1)
+					b.Rate()
+					b.Burst()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestBurstThenDrain exercises the bursty-tenant shape the RM's
+// admission gate polices: a full-burst spike goes through at once, the
+// drained bucket throttles, and a quiet period restores exactly the
+// refill-rate worth of credit.
+func TestBurstThenDrain(t *testing.T) {
+	b, c := newFake(5, 20)
+	for i := 0; i < 20; i++ {
+		if !b.TryTake(1) {
+			t.Fatalf("burst submission %d throttled with tokens available", i)
+		}
+	}
+	if b.TryTake(1) {
+		t.Error("drained bucket admitted a submission")
+	}
+	if d := b.WaitHint(1); d != 200*time.Millisecond {
+		t.Errorf("drained hint = %v, want 200ms (1 token at 5/s)", d)
+	}
+	c.sleep(2 * time.Second) // 10 tokens back
+	for i := 0; i < 10; i++ {
+		if !b.TryTake(1) {
+			t.Fatalf("refilled token %d not granted", i)
+		}
+	}
+	if b.TryTake(1) {
+		t.Error("bucket granted more than the refill")
+	}
+}

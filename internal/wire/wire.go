@@ -36,6 +36,9 @@ const (
 	TypeNMHeartbeat        = "nm-heartbeat"
 	TypeNMReply            = "nm-reply"
 	TypeSubmitJob          = "submit-job"
+	TypeSubmitReject       = "submit-reject"
+	TypeSubmitBatch        = "submit-batch"
+	TypeSubmitBatchReply   = "submit-batch-reply"
 	TypeAMHeartbeat        = "am-heartbeat"
 	TypeAMReply            = "am-reply"
 	TypeClusterStatus      = "cluster-status"
@@ -48,14 +51,17 @@ const (
 type Message struct {
 	Type string `json:"type"`
 
-	RegisterNM    *RegisterNM         `json:"registerNM,omitempty"`
-	NMHeartbeat   *NMHeartbeat        `json:"nmHeartbeat,omitempty"`
-	NMReply       *NMReply            `json:"nmReply,omitempty"`
-	SubmitJob     *SubmitJob          `json:"submitJob,omitempty"`
-	AMHeartbeat   *AMHeartbeat        `json:"amHeartbeat,omitempty"`
-	AMReply       *AMReply            `json:"amReply,omitempty"`
-	ClusterStatus *ClusterStatusReply `json:"clusterStatus,omitempty"`
-	Error         string              `json:"error,omitempty"`
+	RegisterNM       *RegisterNM         `json:"registerNM,omitempty"`
+	NMHeartbeat      *NMHeartbeat        `json:"nmHeartbeat,omitempty"`
+	NMReply          *NMReply            `json:"nmReply,omitempty"`
+	SubmitJob        *SubmitJob          `json:"submitJob,omitempty"`
+	SubmitReject     *SubmitReject       `json:"submitReject,omitempty"`
+	SubmitBatch      *SubmitBatch        `json:"submitBatch,omitempty"`
+	SubmitBatchReply *SubmitBatchReply   `json:"submitBatchReply,omitempty"`
+	AMHeartbeat      *AMHeartbeat        `json:"amHeartbeat,omitempty"`
+	AMReply          *AMReply            `json:"amReply,omitempty"`
+	ClusterStatus    *ClusterStatusReply `json:"clusterStatus,omitempty"`
+	Error            string              `json:"error,omitempty"`
 }
 
 // RegisterNM announces a node manager and its machine capacity. On
@@ -135,8 +141,63 @@ type NMReply struct {
 }
 
 // SubmitJob registers a job (full DAG with declared demands) with the RM.
+// Tenant names the submitting tenant for admission control; empty means
+// the anonymous default tenant.
 type SubmitJob struct {
-	Job *workload.Job `json:"job"`
+	Job    *workload.Job `json:"job"`
+	Tenant string        `json:"tenant,omitempty"`
+}
+
+// Reject codes carried by SubmitReject.Code. Codes with RetryAfter > 0
+// are transient (the AM should back off and retry); RetryAfter == 0
+// marks a permanent rejection (malformed job, definition conflict).
+const (
+	RejectInvalid     = "invalid-job"   // failed structural validation; permanent
+	RejectConflict    = "id-conflict"   // same ID, different definition; permanent
+	RejectRateLimited = "rate-limited"  // tenant submit token bucket empty
+	RejectQuotaJobs   = "quota-jobs"    // tenant queued-job quota exhausted
+	RejectQuotaDemand = "quota-demand"  // tenant aggregate-demand quota exhausted
+	RejectShed        = "shed-overload" // load shedding: RM saturated, tenant priority below the floor
+)
+
+// SubmitReject is the typed overload/validation response to a SubmitJob:
+// the RM refused the job at admission and nothing was journaled. AMs use
+// Code and RetryAfter to decide between jittered backoff (transient
+// rejections) and giving up (permanent ones). Heartbeat traffic is never
+// answered with SubmitReject — only submissions are shed.
+type SubmitReject struct {
+	JobID  int    `json:"jobID"`
+	Tenant string `json:"tenant,omitempty"`
+	Code   string `json:"code"`
+	Reason string `json:"reason,omitempty"`
+	// RetryAfter is the server's backoff hint in seconds; 0 means the
+	// rejection is permanent and retrying the same submission is useless.
+	RetryAfter float64 `json:"retryAfter,omitempty"`
+}
+
+// SubmitBatch is the bulk-ingest submission path: many jobs from one
+// tenant in one frame. The RM admits each job independently (per-job
+// verdicts in SubmitBatchReply) and journals all accepted jobs with a
+// single fsync barrier before replying, so an acked batch is durable.
+type SubmitBatch struct {
+	Tenant string          `json:"tenant,omitempty"`
+	Jobs   []*workload.Job `json:"jobs"`
+}
+
+// SubmitResult is one job's admission verdict inside a batch reply.
+type SubmitResult struct {
+	JobID int `json:"jobID"`
+	// Total is the job's task count when admitted (mirrors AMReply.Total).
+	Total int `json:"total,omitempty"`
+	// Reject is nil when the job was admitted (or deduplicated as an
+	// idempotent resubmission).
+	Reject *SubmitReject `json:"reject,omitempty"`
+}
+
+// SubmitBatchReply carries per-job admission verdicts, in the order the
+// jobs appeared in the batch.
+type SubmitBatchReply struct {
+	Results []SubmitResult `json:"results"`
 }
 
 // AMHeartbeat polls job progress.

@@ -25,9 +25,15 @@ func TestRoundTripAllTypes(t *testing.T) {
 			Task: workload.TaskID{Job: 1, Stage: 0, Index: 5}, JobID: 1,
 			Demand: resources.New(2, 4, 10, 10, 0, 0), Duration: 30, ReadMB: 100, WriteMB: 50,
 		}}}},
-		{Type: TypeSubmitJob, SubmitJob: &SubmitJob{Job: &workload.Job{ID: 1, Name: "j", Weight: 1}}},
+		{Type: TypeSubmitJob, SubmitJob: &SubmitJob{Job: &workload.Job{ID: 1, Name: "j", Weight: 1}, Tenant: "acme"}},
 		{Type: TypeAMHeartbeat, AMHeartbeat: &AMHeartbeat{JobID: 1}},
 		{Type: TypeAMReply, AMReply: &AMReply{JobID: 1, Done: 3, Total: 10}},
+		{Type: TypeSubmitReject, SubmitReject: &SubmitReject{JobID: 1, Tenant: "acme", Code: RejectRateLimited, Reason: "over rate", RetryAfter: 0.25}},
+		{Type: TypeSubmitBatch, SubmitBatch: &SubmitBatch{Tenant: "acme", Jobs: []*workload.Job{{ID: 2, Weight: 1}}}},
+		{Type: TypeSubmitBatchReply, SubmitBatchReply: &SubmitBatchReply{Results: []SubmitResult{
+			{JobID: 2, Total: 4},
+			{JobID: 3, Reject: &SubmitReject{JobID: 3, Code: RejectShed, Reason: "overloaded", RetryAfter: 1.5}},
+		}}},
 		{Type: TypeError, Error: "boom"},
 	}
 	var buf bytes.Buffer
@@ -188,5 +194,34 @@ func TestReadRejectsOversizeHeader(t *testing.T) {
 	_, err := Read(bytes.NewReader(hdr[:]))
 	if !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("Read err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestSubmitRejectFidelity(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Message{Type: TypeSubmitBatchReply, SubmitBatchReply: &SubmitBatchReply{Results: []SubmitResult{
+		{JobID: 11, Total: 3},
+		{JobID: 12, Reject: &SubmitReject{
+			JobID: 12, Tenant: "t-042", Code: RejectQuotaDemand,
+			Reason: "tenant at aggregate demand quota", RetryAfter: 2.5,
+		}},
+	}}}
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got.SubmitBatchReply
+	if r == nil || len(r.Results) != 2 {
+		t.Fatalf("batch reply = %+v", got)
+	}
+	if r.Results[0].Reject != nil || r.Results[0].Total != 3 {
+		t.Errorf("accepted result = %+v", r.Results[0])
+	}
+	rej := r.Results[1].Reject
+	if rej == nil || rej.Code != RejectQuotaDemand || rej.Tenant != "t-042" || rej.RetryAfter != 2.5 {
+		t.Errorf("reject = %+v", rej)
 	}
 }

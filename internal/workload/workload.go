@@ -201,13 +201,22 @@ func (j *Job) NumTasks() int {
 // Task returns the task with the given stage and index.
 func (j *Job) Task(stage, index int) *Task { return j.Stages[stage].Tasks[index] }
 
-// Validate checks structural invariants: stage deps in range and acyclic,
-// task ids consistent, non-negative demands and work.
+// Validate checks structural invariants: at least one task, stage deps
+// in range and acyclic, task ids consistent, non-negative demands and
+// work, and no task whose positive work has a zero peak rate on the
+// matching dimension (such a task would run forever — its duration at
+// peak rates is infinite).
 func (j *Job) Validate() error {
+	if j.NumTasks() == 0 {
+		return fmt.Errorf("job %d: no tasks", j.ID)
+	}
 	n := len(j.Stages)
 	indeg := make([]int, n)
 	adj := make([][]int, n)
 	for si, s := range j.Stages {
+		if len(s.Tasks) == 0 {
+			return fmt.Errorf("job %d stage %d: no tasks", j.ID, si)
+		}
 		for _, d := range s.Deps {
 			if d < 0 || d >= n {
 				return fmt.Errorf("job %d stage %d: dep %d out of range", j.ID, si, d)
@@ -232,6 +241,15 @@ func (j *Job) Validate() error {
 				if b.SizeMB < 0 {
 					return fmt.Errorf("job %d task %v: negative input size", j.ID, t.ID)
 				}
+			}
+			if t.Work.CPUSeconds > 0 && t.Peak.Get(resources.CPU) <= 0 {
+				return fmt.Errorf("job %d task %v: positive CPU work with zero peak CPU rate", j.ID, t.ID)
+			}
+			if t.Work.WriteMB > 0 && t.Peak.Get(resources.DiskWrite) <= 0 {
+				return fmt.Errorf("job %d task %v: positive write work with zero peak disk-write rate", j.ID, t.ID)
+			}
+			if t.TotalInputMB() > 0 && t.Peak.Get(resources.DiskRead) <= 0 {
+				return fmt.Errorf("job %d task %v: input to read with zero peak disk-read rate", j.ID, t.ID)
 			}
 		}
 	}

@@ -133,11 +133,42 @@ func TestJobValidate(t *testing.T) {
 	if err := negWork.Validate(); err == nil {
 		t.Error("negative work not detected")
 	}
+
+	empty := &Job{ID: 7, Weight: 1}
+	if err := empty.Validate(); err == nil || !strings.Contains(err.Error(), "no tasks") {
+		t.Errorf("zero-task job not detected: %v", err)
+	}
+
+	emptyStage := twoStageJob(7, 1, 1)
+	emptyStage.Stages[1].Tasks = nil
+	if err := emptyStage.Validate(); err == nil || !strings.Contains(err.Error(), "no tasks") {
+		t.Errorf("empty stage not detected: %v", err)
+	}
+
+	// Positive work on a dimension with a zero peak rate can never finish.
+	noCPU := twoStageJob(7, 1, 1)
+	noCPU.Stages[0].Tasks[0].Peak = noCPU.Stages[0].Tasks[0].Peak.With(resources.CPU, 0)
+	if err := noCPU.Validate(); err == nil || !strings.Contains(err.Error(), "zero peak CPU") {
+		t.Errorf("cpu work with zero cpu peak not detected: %v", err)
+	}
+
+	noWrite := twoStageJob(7, 1, 1)
+	noWrite.Stages[0].Tasks[0].Work.WriteMB = 50
+	if err := noWrite.Validate(); err == nil || !strings.Contains(err.Error(), "disk-write") {
+		t.Errorf("write work with zero disk-write peak not detected: %v", err)
+	}
+
+	noRead := twoStageJob(7, 1, 1)
+	noRead.Stages[0].Tasks[0].Inputs = []InputBlock{{Machine: -1, SizeMB: 10}}
+	if err := noRead.Validate(); err == nil || !strings.Contains(err.Error(), "disk-read") {
+		t.Errorf("input with zero disk-read peak not detected: %v", err)
+	}
 }
 
 func TestWorkloadValidate(t *testing.T) {
 	j := twoStageJob(0, 2, 1)
 	j.Stages[0].Tasks[0].Inputs = []InputBlock{{Machine: 5, SizeMB: 10}}
+	j.Stages[0].Tasks[0].Peak = j.Stages[0].Tasks[0].Peak.With(resources.DiskRead, 10)
 	w := &Workload{Jobs: []*Job{j}, NumMachines: 4}
 	if err := w.Validate(); err == nil {
 		t.Error("block on out-of-range machine not detected")

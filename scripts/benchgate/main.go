@@ -34,7 +34,13 @@
 // is a standalone mode: it validates an existing snapshot — schema
 // version, and that every -require metric is present and nonzero —
 // and prints it. CI uses it to fail the scale-smoke job when the
-// harness silently measured nothing.
+// harness silently measured nothing. -max metric=bound (repeatable)
+// additionally upper-bounds a metric in -check mode — zero passes,
+// since a bound gates tail latency, not liveness:
+//
+//	benchgate -check BENCH_scale_overload.json \
+//	    -require storm_admitted_total,storm_rejected_total \
+//	    -max submit_p99_seconds=0.5
 package main
 
 import (
@@ -54,6 +60,39 @@ type result struct {
 	nsPerOp     float64
 	allocsPerOp float64
 	hasAllocs   bool
+}
+
+// maxList collects repeated -max flags, each of the form
+// "metric=bound": in -check mode the metric must be present, finite,
+// and no greater than the bound. Unlike -require, zero is acceptable —
+// an upper bound gates tail latencies, not liveness.
+type maxList []struct {
+	key   string
+	bound float64
+}
+
+func (m *maxList) String() string {
+	var parts []string
+	for _, e := range *m {
+		parts = append(parts, fmt.Sprintf("%s=%g", e.key, e.bound))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m *maxList) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("want metric=bound, got %q", s)
+	}
+	bound, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return fmt.Errorf("bound in %q: %v", s, err)
+	}
+	*m = append(*m, struct {
+		key   string
+		bound float64
+	}{k, bound})
+	return nil
 }
 
 // pairList collects repeated -pair flags, each of the form
@@ -168,7 +207,7 @@ func metricVerdict(s *bench.Snapshot, key string) (got string, ok bool) {
 // required metrics, and print one verdict line per requirement so a CI
 // failure names exactly which metric broke the gate and what value it
 // had. The returned error summarizes the failures (nil = gate passed).
-func runCheck(path, require string, w io.Writer) error {
+func runCheck(path, require string, maxes maxList, w io.Writer) error {
 	var required []string
 	for _, k := range strings.Split(require, ",") {
 		if k = strings.TrimSpace(k); k != "" {
@@ -189,8 +228,24 @@ func runCheck(path, require string, w io.Writer) error {
 		failed++
 		fmt.Fprintf(w, "  %-40s FAIL — got %s, required nonzero finite\n", k, got)
 	}
+	for _, e := range maxes {
+		v, present := s.Metrics[e.key]
+		switch {
+		case !present:
+			failed++
+			fmt.Fprintf(w, "  %-40s FAIL — missing, bound <= %g\n", e.key, e.bound)
+		case v != v || v > 1e300 || v < -1e300:
+			failed++
+			fmt.Fprintf(w, "  %-40s FAIL — got %g, not finite\n", e.key, v)
+		case v > e.bound:
+			failed++
+			fmt.Fprintf(w, "  %-40s FAIL — got %g, bound <= %g\n", e.key, v, e.bound)
+		default:
+			fmt.Fprintf(w, "  %-40s %g (<= %g)\n", e.key, v, e.bound)
+		}
+	}
 	if failed > 0 {
-		return fmt.Errorf("%s: %d of %d required metrics failed", path, failed, len(required))
+		return fmt.Errorf("%s: %d of %d required metrics failed", path, failed, len(required)+len(maxes))
 	}
 	fmt.Fprintf(w, "benchgate: %s OK — kind=%s scenario=%s, %d metrics\n", path, s.Kind, s.Scenario, len(s.Metrics))
 	return nil
@@ -214,9 +269,11 @@ func main() {
 	require := flag.String("require", "", "comma-separated metrics that must be present and nonzero in -check")
 	var pairs pairList
 	flag.Var(&pairs, "pair", "gate benchA against benchB within the head file (benchA=benchB, repeatable)")
+	var maxes maxList
+	flag.Var(&maxes, "max", "upper-bound a -check metric (metric=bound, repeatable); the metric must be present, finite, and <= bound")
 	flag.Parse()
 	if *checkPath != "" {
-		if err := runCheck(*checkPath, *require, os.Stdout); err != nil {
+		if err := runCheck(*checkPath, *require, maxes, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(1)
 		}

@@ -39,7 +39,8 @@ func TestRunCheck(t *testing.T) {
 		name       string
 		body       string
 		require    string
-		wantErr    string // substring of the returned error ("" = nil)
+		maxes      []string // metric=bound specs fed through maxList.Set
+		wantErr    string   // substring of the returned error ("" = nil)
 		wantOutput []string
 	}{
 		{
@@ -104,11 +105,52 @@ func TestRunCheck(t *testing.T) {
 			require: "",
 			wantErr: "",
 		},
+		{
+			name:       "max bound satisfied",
+			body:       goodSnap,
+			maxes:      []string{"heartbeat_p99_seconds=0.01"},
+			wantOutput: []string{"heartbeat_p99_seconds", "(<= 0.01)"},
+		},
+		{
+			name:       "max bound exceeded",
+			body:       goodSnap,
+			maxes:      []string{"heartbeat_p99_seconds=0.001"},
+			wantErr:    "1 of 1 required metrics failed",
+			wantOutput: []string{"heartbeat_p99_seconds", "got 0.002, bound <= 0.001"},
+		},
+		{
+			name:    "max on missing metric fails",
+			body:    goodSnap,
+			maxes:   []string{"no_such_metric=5"},
+			wantErr: "1 of 1 required metrics failed",
+		},
+		{
+			name:  "max accepts zero where require would not",
+			body:  goodSnap,
+			maxes: []string{"zero_metric=1"},
+		},
+		{
+			name:    "require and max failures both counted",
+			body:    goodSnap,
+			require: "zero_metric",
+			maxes:   []string{"rounds_per_sec=1"},
+			wantErr: "2 of 2 required metrics failed",
+			wantOutput: []string{
+				"got 0, required nonzero finite",
+				"got 42.5, bound <= 1",
+			},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
+			var maxes maxList
+			for _, spec := range tc.maxes {
+				if err := maxes.Set(spec); err != nil {
+					t.Fatalf("maxList.Set(%q): %v", spec, err)
+				}
+			}
 			var out strings.Builder
-			err := runCheck(writeSnap(t, tc.body), tc.require, &out)
+			err := runCheck(writeSnap(t, tc.body), tc.require, maxes, &out)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("runCheck() = %v, want nil\noutput:\n%s", err, out.String())
@@ -132,7 +174,15 @@ func TestRunCheck(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(t.TempDir(), "nope.json")); err == nil {
 		t.Fatal("sanity: expected missing file")
 	}
-	if err := runCheck(filepath.Join(t.TempDir(), "nope.json"), "x", &strings.Builder{}); err == nil {
+	if err := runCheck(filepath.Join(t.TempDir(), "nope.json"), "x", nil, &strings.Builder{}); err == nil {
 		t.Fatal("runCheck on a missing file should error")
+	}
+
+	var m maxList
+	if err := m.Set("no_bound"); err == nil {
+		t.Error("maxList.Set without '=' should error")
+	}
+	if err := m.Set("k=not_a_number"); err == nil {
+		t.Error("maxList.Set with non-numeric bound should error")
 	}
 }
