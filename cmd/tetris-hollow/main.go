@@ -33,6 +33,7 @@ import (
 	tetris "github.com/tetris-sched/tetris"
 	"github.com/tetris-sched/tetris/internal/bench"
 	"github.com/tetris-sched/tetris/internal/faults"
+	"github.com/tetris-sched/tetris/internal/gang"
 	"github.com/tetris-sched/tetris/internal/hollow"
 	"github.com/tetris-sched/tetris/internal/rm"
 	"github.com/tetris-sched/tetris/internal/telemetry"
@@ -52,7 +53,8 @@ func main() {
 		compression = flag.Float64("compression", 50, "time compression for synthetic task durations and job arrivals")
 		seed        = flag.Int64("seed", 1, "seed for workload, fault plan, stagger and sampling")
 		delta       = flag.Bool("delta", true, "send delta availability reports (unchanged usage omitted from heartbeats)")
-		scenario    = flag.String("scenario", "smoke", "scenario name; output file is BENCH_scale_<scenario>.json")
+		scenario    = flag.String("scenario", "smoke", "scenario name; output file is BENCH_scale_<scenario>.json. \"gang\" switches to the ML/MPI gang workload and wraps the RM scheduler in the gang coordinator")
+		gangFrac    = flag.Float64("gang-fraction", 0.5, "fraction of gang jobs in -scenario gang")
 		outDir      = flag.String("out", ".", "directory for the BENCH snapshot")
 		nodeTimeout = flag.Duration("node-timeout", 10*time.Second, "RM failure-detector heartbeat silence threshold (0 = off)")
 		crashFrac   = flag.Float64("crash-frac", 0, "fraction of nodes that crash once mid-run (fault-plan churn; needs -node-timeout)")
@@ -106,6 +108,22 @@ func main() {
 			ShedLimit:     *shedLimit,
 		}
 	}
+	// -scenario gang wraps every scheduler core (each shard's, under
+	// -shards) in the gang coordinator. The hold and preemption bounds
+	// compress with task time so release and eviction both fire inside a
+	// short wall-clock run, and the attempt cap rises because each
+	// preemption charges the victim's normal attempt accounting.
+	gangScenario := *scenario == "gang"
+	var gangCfg *gang.Config
+	maxAttempts := 4
+	if gangScenario {
+		gc := gang.DefaultConfig()
+		gc.HoldSec /= *compression
+		gc.PreemptSec /= *compression
+		gangCfg = &gc
+		maxAttempts = 64
+	}
+
 	// srv is either the single global RM or the two-level sharded RM;
 	// both speak the same wire protocol, so the fleet cannot tell.
 	var srv rmServer
@@ -116,7 +134,8 @@ func main() {
 			NewScheduler:    func() tetris.Scheduler { return tetris.NewScheduler(schedCfg) },
 			NewEstimator:    tetris.NewEstimator,
 			NodeTimeout:     *nodeTimeout,
-			MaxTaskAttempts: 4,
+			MaxTaskAttempts: maxAttempts,
+			Gang:            gangCfg,
 			Metrics:         reg,
 			Logger:          logger,
 			Admission:       admCfg,
@@ -126,7 +145,8 @@ func main() {
 			Scheduler:       tetris.NewScheduler(schedCfg),
 			Estimator:       tetris.NewEstimator(),
 			NodeTimeout:     *nodeTimeout,
-			MaxTaskAttempts: 4,
+			MaxTaskAttempts: maxAttempts,
+			Gang:            gangCfg,
 			Metrics:         reg,
 			Logger:          logger,
 			Admission:       admCfg,
@@ -171,11 +191,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	wl := trace.GenerateSuite(trace.Config{
+	genCfg := trace.Config{
 		Seed:        *seed,
 		NumJobs:     *jobs,
 		NumMachines: *nodes,
-	})
+	}
+	var wl *tetris.Workload
+	if gangScenario {
+		wl = trace.GenerateGangMix(genCfg, *gangFrac)
+	} else {
+		wl = trace.GenerateSuite(genCfg)
+	}
 	if *taskCap > 0 {
 		for _, j := range wl.Jobs {
 			for _, st := range j.Stages {
@@ -260,6 +286,35 @@ func main() {
 		nmHandleSec, nmHandleN = nmHB.Sum(), nmHB.Count()
 	}
 
+	// Gang counters follow the same shard-labeling scheme as the round
+	// histograms; counts sum across shards, admit-wait quantiles take
+	// the worst shard.
+	var gangCommits, gangReleases, preempts uint64
+	var gangP50, gangP99 float64
+	if gangScenario {
+		if *shards > 1 {
+			for i := 0; i < *shards; i++ {
+				label := strconv.Itoa(i)
+				gangCommits += reg.Counter(telemetry.Label("tetris_rm_gang_commits_total", "shard", label), "").Value()
+				gangReleases += reg.Counter(telemetry.Label("tetris_rm_gang_releases_total", "shard", label), "").Value()
+				preempts += reg.Counter(telemetry.Label("tetris_rm_preemptions_total", "shard", label), "").Value()
+				gh := reg.Histogram(telemetry.Label("tetris_rm_gang_admit_wait_seconds", "shard", label), "")
+				if q := gh.Quantile(0.5); q > gangP50 {
+					gangP50 = q
+				}
+				if q := gh.Quantile(0.99); q > gangP99 {
+					gangP99 = q
+				}
+			}
+		} else {
+			gangCommits = reg.Counter("tetris_rm_gang_commits_total", "").Value()
+			gangReleases = reg.Counter("tetris_rm_gang_releases_total", "").Value()
+			preempts = reg.Counter("tetris_rm_preemptions_total", "").Value()
+			gh := reg.Histogram("tetris_rm_gang_admit_wait_seconds", "")
+			gangP50, gangP99 = gh.Quantile(0.5), gh.Quantile(0.99)
+		}
+	}
+
 	snap := &bench.Snapshot{
 		Schema:   bench.SchemaVersion,
 		Kind:     "hollow-scale",
@@ -329,6 +384,20 @@ func main() {
 		snap.Metrics["shed_rate"] = safeDiv(float64(stormRep.Shed), att)
 		snap.Metrics["fleet_throttled_total"] = float64(amRep.Throttled)
 	}
+	if gangScenario {
+		snap.Config["gang_fraction"] = strconv.FormatFloat(*gangFrac, 'g', -1, 64)
+		snap.Metrics["gangs_admitted_total"] = float64(gangCommits)
+		snap.Metrics["gang_admit_p50_seconds"] = gangP50
+		snap.Metrics["gang_admit_p99_seconds"] = gangP99
+		snap.Metrics["preemptions_total"] = float64(preempts)
+		snap.Metrics["preemptions_per_sec"] = float64(preempts) / elapsed
+		snap.Metrics["gang_releases_total"] = float64(gangReleases)
+		snap.Metrics["gang_releases_per_sec"] = float64(gangReleases) / elapsed
+		// Fraction of hoard epochs that timed out instead of committing —
+		// the coordinator's hoarding efficiency.
+		snap.Metrics["gang_release_rate"] = safeDiv(float64(gangReleases), float64(gangReleases+gangCommits))
+		snap.Metrics["tasks_preempted_total"] = float64(fr.TasksPreempted)
+	}
 	out := *outDir + "/BENCH_scale_" + *scenario + ".json"
 	if err := snap.WriteFile(out); err != nil {
 		log.Fatalf("tetris-hollow: %v", err)
@@ -359,6 +428,12 @@ func main() {
 			stormRep.Shed, stormRep.RateLimited, stormRep.Quota)
 		fmt.Printf("  submit RTT          p50 %.3fms  p99 %.3fms  (%d batches, %d transport errors)\n",
 			stormRep.SubmitP50*1e3, stormRep.SubmitP99*1e3, stormRep.Batches, stormRep.Errors)
+	}
+	if gangScenario {
+		fmt.Printf("  gangs               %d admitted (admit wait p50 %.3fs p99 %.3fs), %d hoards released\n",
+			gangCommits, gangP50, gangP99, gangReleases)
+		fmt.Printf("  preemptions         %d decided (%.1f/sec), %d kills delivered to nodes\n",
+			preempts, float64(preempts)/elapsed, fr.TasksPreempted)
 	}
 	fmt.Printf("  snapshot            %s\n", out)
 	if err := srv.VerifyLedger(); err != nil {

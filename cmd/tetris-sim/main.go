@@ -34,6 +34,8 @@ func main() {
 		penalty   = flag.Float64("remote-penalty", 0.1, "tetris remote penalty")
 		epsMult   = flag.Float64("eps", 1, "tetris ε multiplier m")
 		coreName  = flag.String("core", "incremental", "tetris schedule core: incremental | reference | parallel")
+		scenario  = flag.String("scenario", "", "named scenario: gang (ML/MPI gang mix, gang coordinator wrapped around the scheduler)")
+		gangFrac  = flag.Float64("gang-fraction", 0.3, "fraction of gang jobs in -scenario gang")
 		workers   = flag.Int("sched-workers", 0, "parallel core pool size (0 = GOMAXPROCS; needs -core=parallel)")
 		compare   = flag.Bool("compare", false, "also run slot-fair and DRF and print gains")
 		failures  = flag.Float64("failures", 0, "task failure probability (re-executed on failure)")
@@ -71,7 +73,10 @@ func main() {
 		}
 	}
 
-	wl := loadWorkload(*tracePath, *traceKind, *seed, *jobs, *machines, *span)
+	if *scenario != "" && *scenario != "gang" {
+		log.Fatalf("unknown scenario %q (want gang)", *scenario)
+	}
+	wl := loadWorkload(*tracePath, *traceKind, *scenario, *seed, *jobs, *machines, *span, *gangFrac)
 	if wl.NumMachines > *machines {
 		log.Fatalf("workload references %d machines; raise -machines", wl.NumMachines)
 	}
@@ -128,6 +133,11 @@ func main() {
 
 	run := func(name string) *tetris.Result {
 		s := mkSched(name)
+		if *scenario == "gang" {
+			// Same gang layer around every policy, so -compare measures
+			// packing differences, not gang-admission differences.
+			s = tetris.NewGangCoordinator(s, tetris.DefaultGangConfig())
+		}
 		if mainSched == nil {
 			mainSched = s
 		}
@@ -156,7 +166,17 @@ func main() {
 		res.AvgJCT(), stats.Median(jcts), stats.Percentile(jcts, 90))
 	fmt.Printf("task duration %.1f s mean\n", res.MeanTaskDuration())
 	fmt.Printf("locality      %.0f%% of input bytes read locally\n", 100*res.LocalityFraction())
-	if p, ok := mainSched.(interface {
+	if *scenario == "gang" {
+		fmt.Printf("gangs         %d committed (admit wait p50 %.0f s, p99 %.0f s), %d hoards released\n",
+			res.GangCommits, res.GangWaitPercentile(50), res.GangWaitPercentile(99), res.GangReleases)
+		fmt.Printf("preemptions   %d attempts evicted for gangs (%.2f/1000 s simulated)\n",
+			res.Preemptions, 1000*float64(res.Preemptions)/res.Makespan)
+	}
+	inner := mainSched
+	if w, ok := inner.(interface{ Inner() tetris.Scheduler }); ok {
+		inner = w.Inner()
+	}
+	if p, ok := inner.(interface {
 		ParallelStats() (tetris.ParallelStats, bool)
 	}); ok {
 		if ps, ok := p.ParallelStats(); ok && ps.Rounds > 0 {
@@ -195,7 +215,7 @@ func main() {
 	}
 }
 
-func loadWorkload(path, kind string, seed int64, jobs, machines int, span float64) *tetris.Workload {
+func loadWorkload(path, kind, scenario string, seed int64, jobs, machines int, span, gangFrac float64) *tetris.Workload {
 	if path != "" {
 		wl, err := tetris.LoadWorkload(path)
 		if err != nil {
@@ -206,6 +226,9 @@ func loadWorkload(path, kind string, seed int64, jobs, machines int, span float6
 	cfg := tetris.TraceConfig{
 		Seed: seed, NumJobs: jobs, NumMachines: machines,
 		ArrivalSpanSec: span, RecurringFraction: 0.4,
+	}
+	if scenario == "gang" {
+		return tetris.GenerateGangWorkload(cfg, gangFrac)
 	}
 	switch kind {
 	case "suite":

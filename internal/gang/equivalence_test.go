@@ -1,0 +1,288 @@
+package gang
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/scheduler"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// The gang twin-world driver mirrors the scheduler package's
+// equivalence harness: several worlds share one immutable job set and
+// one fault/completion script (identical rng seeds), differ only in
+// the inner scheduler core, and must emit field-for-field identical
+// decisions every round — assignments, preemptions, commits and
+// releases alike.
+
+func genGangCaps(rng *rand.Rand, n int) []resources.Vector {
+	sizes := []resources.Vector{
+		resources.New(16, 32, 200, 200, 1000, 1000),
+		resources.New(8, 16, 100, 100, 500, 500),
+		resources.New(32, 64, 400, 400, 2000, 2000),
+	}
+	caps := make([]resources.Vector, n)
+	for i := range caps {
+		caps[i] = sizes[rng.Intn(len(sizes))]
+	}
+	return caps
+}
+
+// genGangJobs builds a mix of preemptible singleton fillers and gang
+// jobs with varying priorities and quorums.
+func genGangJobs(rng *rand.Rand, n int) ([]*workload.Job, []float64) {
+	jobs := make([]*workload.Job, n)
+	arrive := make([]float64, n)
+	for i := range jobs {
+		id := i + 1
+		j := &workload.Job{ID: id, Weight: 1}
+		st := &workload.Stage{Name: "s"}
+		var peak resources.Vector
+		var nt int
+		if rng.Float64() < 0.4 {
+			// Gang: homogeneous members, mid-size demand.
+			j.Gang = true
+			j.Priority = 3 + rng.Intn(6)
+			nt = 2 + rng.Intn(5)
+			if rng.Intn(2) == 0 {
+				j.MinMembers = 1 + rng.Intn(nt)
+			}
+			peak = resources.New(6+float64(rng.Intn(10)), 12+float64(rng.Intn(20)), 0, 0, 0, 0)
+		} else {
+			// Filler: small preemptible singles.
+			j.Preemptible = true
+			j.Priority = rng.Intn(3)
+			nt = 1 + rng.Intn(6)
+			peak = resources.New(1+float64(rng.Intn(4)), 2+float64(rng.Intn(6)), 0, 0, 0, 0)
+		}
+		for k := 0; k < nt; k++ {
+			st.Tasks = append(st.Tasks, &workload.Task{
+				ID:   workload.TaskID{Job: id, Stage: 0, Index: k},
+				Peak: peak,
+				Work: workload.Work{CPUSeconds: 20 + rng.Float64()*40},
+			})
+		}
+		j.Stages = []*workload.Stage{st}
+		arrive[i] = rng.Float64() * 20
+		jobs[i] = j
+	}
+	return jobs, arrive
+}
+
+type gangWorld struct {
+	c *Coordinator
+	// bare, when non-nil, replaces the coordinator entirely: the world
+	// schedules through the raw inner scheduler. Used to prove the
+	// coordinator is digest-neutral on non-gang workloads.
+	bare     scheduler.Scheduler
+	machines []*scheduler.MachineState
+	jobs     []*workload.Job
+	arrive   []float64
+	states   map[int]*scheduler.JobState
+	running  []Running
+	rng      *rand.Rand
+	total    resources.Vector
+}
+
+func newGangWorld(seed int64, core scheduler.Core, workers int, caps []resources.Vector, jobs []*workload.Job, arrive []float64) *gangWorld {
+	tc := scheduler.DefaultTetrisConfig()
+	tc.Core = core
+	tc.Workers = workers
+	tc.StarvationSec = 8
+	w := &gangWorld{
+		c:      New(scheduler.NewTetris(tc), Config{HoldSec: 4, PreemptSec: 8, MaxPreemptPerRound: 4}),
+		jobs:   jobs,
+		arrive: arrive,
+		states: make(map[int]*scheduler.JobState),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	for i, c := range caps {
+		w.machines = append(w.machines, &scheduler.MachineState{ID: i, Capacity: c})
+		w.total = w.total.Add(c)
+	}
+	for _, j := range jobs {
+		w.states[j.ID] = &scheduler.JobState{Job: j, Status: workload.NewStatus(j)}
+	}
+	return w
+}
+
+func (w *gangWorld) finished(js *scheduler.JobState) bool {
+	for si := range js.Job.Stages {
+		if js.Status.DoneInStage(si) != len(js.Job.Stages[si].Tasks) {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *gangWorld) dropRunning(tid workload.TaskID) (Running, bool) {
+	for i, r := range w.running {
+		if r.Task == tid {
+			out := r
+			w.running = append(w.running[:i], w.running[i+1:]...)
+			return out, true
+		}
+	}
+	return Running{}, false
+}
+
+// step advances one round and returns a canonical rendering of the
+// round's decision for cross-core comparison.
+func (w *gangWorld) step(now float64) string {
+	// Fault churn, identical across twins because machine state is.
+	for _, m := range w.machines {
+		if m.Down {
+			if w.rng.Float64() < 0.3 {
+				m.Down = false
+			}
+			continue
+		}
+		if w.rng.Float64() < 0.08 {
+			m.Down = true
+			m.Allocated = resources.Vector{}
+			m.Reported = resources.Vector{}
+			// Fail every running task on the machine.
+			kept := w.running[:0]
+			for _, r := range w.running {
+				if r.Machine == m.ID {
+					js := w.states[r.JobID]
+					js.Status.MarkFailed(r.Task)
+					js.Alloc = js.Alloc.Sub(r.Demand)
+					continue
+				}
+				kept = append(kept, r)
+			}
+			w.running = kept
+		}
+	}
+	v := &scheduler.View{Time: now, Machines: w.machines, Total: w.total}
+	for _, j := range w.jobs {
+		js := w.states[j.ID]
+		if w.arrive[j.ID-1] <= now && !w.finished(js) {
+			v.Jobs = append(v.Jobs, js)
+		}
+	}
+	for _, m := range w.machines {
+		if !m.Down {
+			m.Reported = m.Allocated
+		}
+	}
+
+	var dec Decision
+	if w.bare != nil {
+		dec = Decision{Assignments: w.bare.Schedule(v)}
+	} else {
+		dec = w.c.Decide(v, append([]Running(nil), w.running...))
+	}
+
+	var b strings.Builder
+	for _, a := range dec.Assignments {
+		fmt.Fprintf(&b, "A %v@%d %v|", a.Task.ID, a.Machine, a.Local)
+	}
+	for _, p := range dec.Preemptions {
+		fmt.Fprintf(&b, "P %v@%d for %d|", p.Task, p.Machine, p.ForJob)
+	}
+	for _, cm := range dec.Commits {
+		fmt.Fprintf(&b, "C %d n%d w%.3f|", cm.JobID, cm.Members, cm.WaitSec)
+	}
+	for _, r := range dec.Releases {
+		fmt.Fprintf(&b, "R %d h%d|", r.JobID, r.Held)
+	}
+
+	// Apply assignments.
+	for _, a := range dec.Assignments {
+		js := w.states[a.JobID]
+		js.Status.MarkRunning(a.Task.ID)
+		js.Alloc = js.Alloc.Add(a.Local)
+		w.machines[a.Machine].Allocated = w.machines[a.Machine].Allocated.Add(a.Local)
+		for _, rc := range a.Remote {
+			w.machines[rc.Machine].Allocated = w.machines[rc.Machine].Allocated.Add(rc.Charge)
+		}
+		w.running = append(w.running, Running{JobID: a.JobID, Task: a.Task.ID, Machine: a.Machine, Demand: a.Local})
+	}
+	// Apply preemptions: the "NM kill" lands within the round here.
+	for _, p := range dec.Preemptions {
+		r, ok := w.dropRunning(p.Task)
+		if !ok {
+			continue
+		}
+		js := w.states[p.JobID]
+		js.Status.MarkFailed(p.Task)
+		js.Alloc = js.Alloc.Sub(r.Demand)
+		w.machines[r.Machine].Allocated = w.machines[r.Machine].Allocated.Sub(r.Demand).Max(resources.Vector{})
+	}
+	// Random completions over a snapshot of the running list.
+	snap := append([]Running(nil), w.running...)
+	for _, r := range snap {
+		if w.rng.Float64() < 0.15 {
+			if _, ok := w.dropRunning(r.Task); !ok {
+				continue
+			}
+			js := w.states[r.JobID]
+			js.Status.MarkDone(r.Task, now)
+			js.Alloc = js.Alloc.Sub(r.Demand)
+			w.machines[r.Machine].Allocated = w.machines[r.Machine].Allocated.Sub(r.Demand).Max(resources.Vector{})
+		}
+	}
+	return b.String()
+}
+
+// TestGangScheduleEquivalence drives gang-bearing fault-injected
+// worlds across all three scheduler cores and requires bit-identical
+// decisions every round.
+func TestGangScheduleEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		gen := rand.New(rand.NewSource(seed * 977))
+		caps := genGangCaps(gen, 6)
+		jobs, arrive := genGangJobs(gen, 12)
+		worlds := map[string]*gangWorld{
+			"incremental": newGangWorld(seed, scheduler.CoreIncremental, 0, caps, jobs, arrive),
+			"reference":   newGangWorld(seed, scheduler.CoreReference, 0, caps, jobs, arrive),
+			"parallel":    newGangWorld(seed, scheduler.CoreParallel, 3, caps, jobs, arrive),
+		}
+		for round := 0; round < 40; round++ {
+			now := float64(round) * 2
+			want := ""
+			first := true
+			for _, name := range []string{"incremental", "reference", "parallel"} {
+				got := worlds[name].step(now)
+				if first {
+					want, first = got, false
+					continue
+				}
+				if got != want {
+					t.Fatalf("seed %d round %d: %s core diverged\nincremental: %s\n%s: %s",
+						seed, round, name, want, name, got)
+				}
+			}
+		}
+	}
+}
+
+// TestDigestNeutralWhenUnused: on a workload with no gang jobs, the
+// coordinator must emit exactly the decisions the bare inner scheduler
+// would — round for round, byte for byte.
+func TestDigestNeutralWhenUnused(t *testing.T) {
+	gen := rand.New(rand.NewSource(7))
+	caps := genGangCaps(gen, 6)
+	jobs, arrive := genGangJobs(gen, 12)
+	for _, j := range jobs {
+		j.Gang = false
+		j.MinMembers = 0
+	}
+
+	wrapped := newGangWorld(99, scheduler.CoreIncremental, 0, caps, jobs, arrive)
+	plain := newGangWorld(99, scheduler.CoreIncremental, 0, caps, jobs, arrive)
+	plain.bare = plain.c.Inner()
+	for round := 0; round < 30; round++ {
+		now := float64(round) * 2
+		got, want := wrapped.step(now), plain.step(now)
+		if got != want {
+			t.Fatalf("round %d: coordinator not digest-neutral on a non-gang workload\nwrapped: %s\nbare:    %s",
+				round, got, want)
+		}
+	}
+}

@@ -83,6 +83,7 @@ type Report struct {
 	TasksLaunched  uint64
 	TasksCompleted uint64
 	TasksKilled    uint64 // orphans killed on RM instruction
+	TasksPreempted uint64 // attempts killed by gang preemption
 	BytesSent      uint64 // NM-side wire bytes written, all connections
 	BytesRecv      uint64 // NM-side wire bytes read, all connections
 	RTTSamples     int64  // heartbeat round-trips measured
@@ -136,6 +137,7 @@ type Fleet struct {
 	tasksLaunched  atomic.Uint64
 	tasksCompleted atomic.Uint64
 	tasksKilled    atomic.Uint64
+	tasksPreempted atomic.Uint64
 	bytesSent      atomic.Uint64
 	bytesRecv      atomic.Uint64
 	rtt            *reservoir
@@ -265,6 +267,7 @@ func (f *Fleet) Report() Report {
 		TasksLaunched:  f.tasksLaunched.Load(),
 		TasksCompleted: f.tasksCompleted.Load(),
 		TasksKilled:    f.tasksKilled.Load(),
+		TasksPreempted: f.tasksPreempted.Load(),
 		BytesSent:      f.bytesSent.Load(),
 		BytesRecv:      f.bytesRecv.Load(),
 		RTTSamples:     f.rtt.count(),
@@ -409,6 +412,7 @@ func (sh *shard) beat(conn net.Conn, n *node) error {
 	}
 	if r := reply.NMReply; r != nil {
 		n.handleKills(r.Kill, &sh.f.tasksKilled)
+		n.handlePreempts(r.Preempt, &sh.f.tasksPreempted)
 		for _, l := range r.Launch {
 			n.launch(l, now, sh.f.cfg.Compression)
 			sh.f.tasksLaunched.Add(1)
@@ -500,6 +504,20 @@ func (n *node) handleKills(kill []workload.TaskID, killed *atomic.Uint64) {
 		delete(n.running, tid)
 		n.used = n.used.Sub(rt.launch.Demand).Max(resources.Vector{})
 		killed.Add(1)
+	}
+}
+
+// handlePreempts drops gang-evicted tasks without reporting
+// completions: the RM already requeued the attempt as failed.
+func (n *node) handlePreempts(preempt []wire.TaskPreempt, preempted *atomic.Uint64) {
+	for _, p := range preempt {
+		rt, ok := n.running[p.Task]
+		if !ok {
+			continue
+		}
+		delete(n.running, p.Task)
+		n.used = n.used.Sub(rt.launch.Demand).Max(resources.Vector{})
+		preempted.Add(1)
 	}
 }
 

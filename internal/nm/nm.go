@@ -70,6 +70,7 @@ type nmMetrics struct {
 	launched   *telemetry.Counter
 	completed  *telemetry.Counter
 	killed     *telemetry.Counter
+	preempted  *telemetry.Counter
 	deltaBeats *telemetry.Counter
 	running    *telemetry.Gauge
 }
@@ -85,6 +86,7 @@ func newNMMetrics(reg *telemetry.Registry) *nmMetrics {
 		launched:   reg.Counter("tetris_nm_tasks_launched_total", "Task attempts started on this process's nodes."),
 		completed:  reg.Counter("tetris_nm_tasks_completed_total", "Task attempts finished and reported."),
 		killed:     reg.Counter("tetris_nm_orphans_killed_total", "Orphaned attempts killed on RM instruction."),
+		preempted:  reg.Counter("tetris_nm_tasks_preempted_total", "Attempts killed by gang preemption."),
 		deltaBeats: reg.Counter("tetris_nm_delta_heartbeats_total", "Heartbeats sent as delta availability reports."),
 		running:    reg.Gauge("tetris_nm_tasks_running", "Task attempts currently executing."),
 	}
@@ -313,6 +315,7 @@ func (n *Node) session(ctx context.Context) (registered bool, err error) {
 		}
 		if reply.NMReply != nil {
 			n.handleKills(reply.NMReply.Kill)
+			n.handlePreempts(reply.NMReply.Preempt)
 			for _, l := range reply.NMReply.Launch {
 				n.launch(ctx, l)
 			}
@@ -341,6 +344,29 @@ func (n *Node) handleKills(kill []workload.TaskID) {
 		n.metrics.killed.Inc()
 		n.metrics.running.Add(-1)
 		n.log.Printf("nm %d: killed orphaned task %v", n.cfg.NodeID, tid)
+	}
+}
+
+// handlePreempts stops tasks the RM evicted for a gang: the attempt was
+// already requeued as failed at the RM, so the kill must emit no
+// completion — the RM would ignore one anyway (the launch record is
+// gone), and the AM sees the attempt return to pending.
+func (n *Node) handlePreempts(preempt []wire.TaskPreempt) {
+	for _, p := range preempt {
+		n.mu.Lock()
+		cancel, ok := n.running[p.Task]
+		if ok {
+			delete(n.running, p.Task)
+		}
+		n.mu.Unlock()
+		if !ok {
+			continue // already finished or killed
+		}
+		cancel()
+		n.tracker.Finish(p.Task)
+		n.metrics.preempted.Inc()
+		n.metrics.running.Add(-1)
+		n.log.Printf("nm %d: preempted task %v for gang job %d", n.cfg.NodeID, p.Task, p.ForJob)
 	}
 }
 

@@ -159,8 +159,8 @@ func TestAdmissionBatchMixed(t *testing.T) {
 	good := simpleJob(0, 1)
 	bad := simpleJob(1, 1)
 	bad.Stages[0].Deps = []int{0} // self-dependency: invalid
-	dup := simpleJob(0, 1)       // identical definition: idempotent accept
-	conflict := simpleJob(0, 2)  // same ID, different definition
+	dup := simpleJob(0, 1)        // identical definition: idempotent accept
+	conflict := simpleJob(0, 2)   // same ID, different definition
 
 	results, err := s.SubmitBatch("t", []*workload.Job{good, bad, dup, conflict})
 	if err != nil {

@@ -31,12 +31,15 @@ import (
 
 // Event kinds, one per RM state transition.
 const (
-	evRegister = "register"
-	evSubmit   = "submit"
-	evLaunch   = "launch"
-	evComplete = "complete"
-	evDead     = "dead"
-	evRejoin   = "rejoin"
+	evRegister    = "register"
+	evSubmit      = "submit"
+	evLaunch      = "launch"
+	evComplete    = "complete"
+	evDead        = "dead"
+	evRejoin      = "rejoin"
+	evPreempt     = "preempt"
+	evGangCommit  = "gangCommit"
+	evGangRelease = "gangRelease"
 )
 
 // event is one journaled state transition. Time carries the RM clock at
@@ -61,12 +64,20 @@ type event struct {
 	// decode it as "" — the anonymous default tenant.
 	Tenant string `json:"tenant,omitempty"`
 
-	// launch / complete
+	// launch / complete / preempt (the victim)
 	Task workload.TaskID `json:"task,omitempty"`
 
+	// preempt (beneficiary) / gangCommit / gangRelease
+	GangJob int `json:"gangJob,omitempty"`
+	// gangCommit
+	Wait    float64 `json:"wait,omitempty"`
+	Members int     `json:"members,omitempty"`
+	// gangRelease
+	Held int `json:"held,omitempty"`
+
 	// launch
-	Machine int                     `json:"machine,omitempty"`
-	Local   resources.Vector        `json:"local,omitempty"`
+	Machine int                      `json:"machine,omitempty"`
+	Local   resources.Vector         `json:"local,omitempty"`
 	Remote  []scheduler.RemoteCharge `json:"remote,omitempty"`
 
 	// complete
@@ -138,6 +149,21 @@ func (s *Server) applyEvent(ev *event) error {
 			return fmt.Errorf("rejoin event for unknown machine %d", ev.Node)
 		}
 		s.applyRejoin(ev.Node, ev.Time)
+	case evPreempt:
+		if s.jobs[ev.Task.Job] == nil {
+			return fmt.Errorf("preempt event for unknown job %d", ev.Task.Job)
+		}
+		s.applyPreempt(ev.Task, ev.GangJob, ev.Time)
+	case evGangCommit:
+		if s.jobs[ev.GangJob] == nil {
+			return fmt.Errorf("gangCommit event for unknown job %d", ev.GangJob)
+		}
+		s.applyGangCommit(ev.GangJob, ev.Wait, ev.Members)
+	case evGangRelease:
+		if s.jobs[ev.GangJob] == nil {
+			return fmt.Errorf("gangRelease event for unknown job %d", ev.GangJob)
+		}
+		s.applyGangRelease(ev.GangJob, ev.Held)
 	default:
 		return fmt.Errorf("unknown event kind %q", ev.Kind)
 	}
@@ -230,11 +256,11 @@ func (s *Server) recover() error {
 // marking is itself transient recovery bookkeeping.
 type rmState struct {
 	// Now is the RM clock at the newest journaled event.
-	Now           float64         `json:"now"`
-	Machines      []machineSnap   `json:"machines,omitempty"`
-	Jobs          []jobSnap       `json:"jobs,omitempty"`
-	Faults        []faults.Record `json:"faults,omitempty"`
-	DroppedFaults uint64          `json:"droppedFaults,omitempty"`
+	Now           float64          `json:"now"`
+	Machines      []machineSnap    `json:"machines,omitempty"`
+	Jobs          []jobSnap        `json:"jobs,omitempty"`
+	Faults        []faults.Record  `json:"faults,omitempty"`
+	DroppedFaults uint64           `json:"droppedFaults,omitempty"`
 	Estimator     *estimator.State `json:"estimator,omitempty"`
 }
 
@@ -260,6 +286,12 @@ type jobSnap struct {
 	// Tenant is the job's admission owner — durable so recovery rebuilds
 	// per-tenant accounting (quota state) from snapshots alone.
 	Tenant string `json:"tenant,omitempty"`
+	// Gang accounting: quorum-committed flag, hoard releases suffered,
+	// attempts preempted away. Durable so AM progress replies and the
+	// digest survive restarts.
+	GangCommitted bool `json:"gangCommitted,omitempty"`
+	GangReleases  int  `json:"gangReleases,omitempty"`
+	Preempted     int  `json:"preempted,omitempty"`
 }
 
 type launchSnap struct {
@@ -309,7 +341,10 @@ func (s *Server) encodeStateLocked() []byte {
 		js := jobSnap{
 			Job: ji.state.Job, Status: ji.state.Status.Snapshot(), Alloc: ji.state.Alloc,
 			Finished: ji.finished, Failed: ji.failed, FinishedAt: ji.finishedAt,
-			Tenant: ji.tenant,
+			Tenant:        ji.tenant,
+			GangCommitted: ji.gangCommitted,
+			GangReleases:  ji.gangReleases,
+			Preempted:     ji.preempted,
 		}
 		for _, tid := range launchedIDs(ji, -1) {
 			rec := ji.launched[tid]
@@ -367,12 +402,15 @@ func (s *Server) restoreState(data []byte) error {
 				Status: workload.RestoreStatus(js.Job, js.Status),
 				Alloc:  js.Alloc,
 			},
-			launched:   make(map[workload.TaskID]launchRecord, len(js.Launched)),
-			finished:   js.Finished,
-			failed:     js.Failed,
-			finishedAt: js.FinishedAt,
-			tenant:     js.Tenant,
-			demand:     jobDemand(js.Job),
+			launched:      make(map[workload.TaskID]launchRecord, len(js.Launched)),
+			finished:      js.Finished,
+			failed:        js.Failed,
+			finishedAt:    js.FinishedAt,
+			tenant:        js.Tenant,
+			demand:        jobDemand(js.Job),
+			gangCommitted: js.GangCommitted,
+			gangReleases:  js.GangReleases,
+			preempted:     js.Preempted,
 		}
 		if !js.Finished && s.adm != nil {
 			// Re-adopt the unfinished job's tenant accounting so quotas

@@ -30,12 +30,16 @@ type rmMetrics struct {
 	orphansKilled *telemetry.Counter
 	lostRequeued  *telemetry.Counter
 	deltaBeats    *telemetry.Counter
+	preemptions   *telemetry.Counter
+	gangCommits   *telemetry.Counter
+	gangReleases  *telemetry.Counter
 
 	scheduleRound *telemetry.Histogram
 	nmHeartbeat   *telemetry.Histogram
 	amHeartbeat   *telemetry.Histogram
 	journalFsync  *telemetry.Histogram
 	parScatter    *telemetry.Histogram
+	gangAdmitWait *telemetry.Histogram
 
 	replaySeconds *telemetry.Gauge
 	replayRecords *telemetry.Gauge
@@ -76,12 +80,16 @@ func newRMMetrics(reg *telemetry.Registry, shard string) *rmMetrics {
 		orphansKilled: reg.Counter(name("tetris_rm_resync_orphans_killed_total"), "Orphaned task attempts killed during resync reconciliation."),
 		lostRequeued:  reg.Counter(name("tetris_rm_resync_lost_requeued_total"), "Lost launches released and re-queued during resync."),
 		deltaBeats:    reg.Counter(name("tetris_rm_delta_heartbeats_total"), "NM heartbeats received as delta availability reports."),
+		preemptions:   reg.Counter(name("tetris_rm_preemptions_total"), "Task attempts evicted for higher-priority gangs."),
+		gangCommits:   reg.Counter(name("tetris_rm_gang_commits_total"), "Gang quorums admitted all-or-nothing."),
+		gangReleases:  reg.Counter(name("tetris_rm_gang_releases_total"), "Gang hoards released by the hold timeout."),
 
 		scheduleRound: reg.Histogram(name("tetris_rm_schedule_round_seconds"), "Wall time of one scheduling round (the Table 7 allocation cost)."),
 		nmHeartbeat:   reg.Histogram(name("tetris_rm_nm_heartbeat_seconds"), "NM heartbeat processing time, scheduling included."),
 		amHeartbeat:   reg.Histogram(name("tetris_rm_am_heartbeat_seconds"), "AM heartbeat processing time."),
 		journalFsync:  reg.Histogram(name("tetris_rm_journal_fsync_seconds"), "Write-ahead journal fsync latency."),
 		parScatter:    reg.Histogram(name("tetris_rm_parallel_scatter_seconds"), "Scatter-phase wall time of one parallel-core scheduling round."),
+		gangAdmitWait: reg.Histogram(name("tetris_rm_gang_admit_wait_seconds"), "Gang admission latency: first quorum want to atomic commit."),
 
 		replaySeconds: reg.Gauge(name("tetris_rm_journal_replay_seconds"), "Wall time of the last journal recovery replay."),
 		replayRecords: reg.Gauge(name("tetris_rm_journal_replay_records"), "Log records replayed by the last journal recovery."),
@@ -147,8 +155,12 @@ func (s *Server) registerGauges(reg *telemetry.Registry) {
 
 // parallelStats reports the scheduler's parallel-core counters. ok is
 // false when the scheduler has no parallel core (other schedulers, or
-// a Tetris instance on a sequential core).
+// a Tetris instance on a sequential core). Wrappers that expose their
+// inner scheduler (the gang coordinator) are looked through.
 func parallelStats(sched scheduler.Scheduler) (scheduler.ParallelStats, bool) {
+	if w, ok := sched.(interface{ Inner() scheduler.Scheduler }); ok {
+		sched = w.Inner()
+	}
 	p, ok := sched.(interface {
 		ParallelStats() (scheduler.ParallelStats, bool)
 	})

@@ -21,6 +21,7 @@ import (
 
 	"github.com/tetris-sched/tetris/internal/estimator"
 	"github.com/tetris-sched/tetris/internal/faults"
+	"github.com/tetris-sched/tetris/internal/gang"
 	"github.com/tetris-sched/tetris/internal/journal"
 	"github.com/tetris-sched/tetris/internal/resources"
 	"github.com/tetris-sched/tetris/internal/scheduler"
@@ -60,6 +61,12 @@ type Config struct {
 	// FaultLogCap bounds the in-memory crash/recovery log (a ring
 	// buffer; evictions are counted). Default faults.DefaultRingCap.
 	FaultLogCap int
+	// Gang enables gang scheduling: the configured Scheduler is wrapped
+	// in a gang.Coordinator (internal/gang), so gang jobs admit
+	// all-or-nothing, hoard under timeout-and-release, and may preempt
+	// lower-priority preemptible tasks. Nil disables gang handling (gang
+	// jobs then trickle through the inner scheduler task by task).
+	Gang *gang.Config
 	// Admission enables the multi-tenant front door (admission.go):
 	// per-tenant quotas, token-bucket submit rate limiting, and
 	// overload shedding, all answered with typed wire.SubmitReject
@@ -95,17 +102,21 @@ type Server struct {
 	ln  net.Listener
 	log *log.Logger
 
-	mu        sync.Mutex
-	start     time.Time
-	machines  map[int]*scheduler.MachineState
-	total     resources.Vector
-	jobs      map[int]*jobInfo
-	pending   map[int][]wire.TaskLaunch // queued launches per node
-	detector  *faults.Detector          // nil when failure detection is off
-	downSince map[int]float64
-	faultLog  *faults.Ring
-	epochs    map[int]int // per-machine death epoch; see remoteCharge
-	resync    map[int]bool
+	mu       sync.Mutex
+	start    time.Time
+	machines map[int]*scheduler.MachineState
+	total    resources.Vector
+	jobs     map[int]*jobInfo
+	pending  map[int][]wire.TaskLaunch // queued launches per node
+	// pendingPreempt queues gang-preemption kills per node, delivered
+	// (like launches) on the node's next heartbeat. Transient: a kill
+	// lost to an RM restart resurfaces as an orphaned attempt at resync.
+	pendingPreempt map[int][]wire.TaskPreempt
+	detector       *faults.Detector // nil when failure detection is off
+	downSince      map[int]float64
+	faultLog       *faults.Ring
+	epochs         map[int]int // per-machine death epoch; see remoteCharge
+	resync         map[int]bool
 	// needFull marks nodes whose delta-heartbeat baseline the RM cannot
 	// vouch for: registration, dead-node reclaim and rejoin all reset
 	// the RM's usage view, so until the node's next full report a delta
@@ -145,6 +156,15 @@ type jobInfo struct {
 	// (sum of task peaks) released when the job finishes.
 	tenant string
 	demand resources.Vector
+	// Gang accounting, durable (snapshotted): whether the gang's quorum
+	// ever committed, how many hoard epochs timed out, and how many of
+	// the job's attempts were preempted for higher-priority gangs.
+	gangCommitted bool
+	gangReleases  int
+	preempted     int
+	// lastRelease is the release notice not yet delivered to the AM;
+	// transient by design (an AM that never asks never learns).
+	lastRelease *wire.GangRelease
 }
 
 type launchRecord struct {
@@ -196,19 +216,25 @@ func newCore(cfg Config) (*Server, error) {
 	if cfg.Scheduler == nil {
 		return nil, fmt.Errorf("rm: scheduler is required")
 	}
+	if cfg.Gang != nil {
+		if _, ok := cfg.Scheduler.(*gang.Coordinator); !ok {
+			cfg.Scheduler = gang.New(cfg.Scheduler, *cfg.Gang)
+		}
+	}
 	s := &Server{
-		cfg:      cfg,
-		log:      cfg.Logger,
-		start:    time.Now(),
-		machines: make(map[int]*scheduler.MachineState),
-		jobs:     make(map[int]*jobInfo),
-		pending:  make(map[int][]wire.TaskLaunch),
-		faultLog: faults.NewRing(cfg.FaultLogCap),
-		epochs:   make(map[int]int),
-		resync:   make(map[int]bool),
-		needFull: make(map[int]bool),
-		conns:    make(map[net.Conn]struct{}),
-		closed:   make(chan struct{}),
+		cfg:            cfg,
+		log:            cfg.Logger,
+		start:          time.Now(),
+		machines:       make(map[int]*scheduler.MachineState),
+		jobs:           make(map[int]*jobInfo),
+		pending:        make(map[int][]wire.TaskLaunch),
+		pendingPreempt: make(map[int][]wire.TaskPreempt),
+		faultLog:       faults.NewRing(cfg.FaultLogCap),
+		epochs:         make(map[int]int),
+		resync:         make(map[int]bool),
+		needFull:       make(map[int]bool),
+		conns:          make(map[net.Conn]struct{}),
+		closed:         make(chan struct{}),
 	}
 	if s.log == nil {
 		s.log = log.New(discard{}, "", 0)
@@ -644,8 +670,10 @@ func (s *Server) HandleNMHeartbeat(hb *wire.NMHeartbeat) *wire.Message {
 	s.maybeSnapshot()
 	launch := s.pending[hb.NodeID]
 	delete(s.pending, hb.NodeID)
+	preempt := s.pendingPreempt[hb.NodeID]
+	delete(s.pendingPreempt, hb.NodeID)
 	return &wire.Message{Type: wire.TypeNMReply, NMReply: &wire.NMReply{
-		Launch: launch, FullReport: s.needFull[hb.NodeID],
+		Launch: launch, Preempt: preempt, FullReport: s.needFull[hb.NodeID],
 	}}
 }
 
@@ -759,6 +787,7 @@ func (s *Server) applyDead(id int, now float64) {
 		s.downSince[id] = now
 	}
 	delete(s.pending, id) // undelivered launches are reclaimed below
+	delete(s.pendingPreempt, id)
 	killed := 0
 	for _, jobID := range s.jobIDs() {
 		ji := s.jobs[jobID]
@@ -913,7 +942,15 @@ func (s *Server) runScheduler() {
 	}
 	restoreWeights := s.applyTenantWeights(active)
 	t0 := time.Now()
-	asgs := s.cfg.Scheduler.Schedule(v)
+	var asgs []scheduler.Assignment
+	var gdec *gang.Decision
+	if gc, ok := s.cfg.Scheduler.(*gang.Coordinator); ok {
+		dec := gc.Decide(v, s.runningTasks(jobIDs))
+		gdec = &dec
+		asgs = dec.Assignments
+	} else {
+		asgs = s.cfg.Scheduler.Schedule(v)
+	}
 	restoreWeights()
 	s.metrics.scheduleRound.Observe(time.Since(t0).Seconds())
 	if ps, ok := parallelStats(s.cfg.Scheduler); ok && ps.Rounds > s.metrics.prevScatterRounds {
@@ -936,6 +973,9 @@ func (s *Server) runScheduler() {
 			ReadMB:   a.Task.TotalInputMB(),
 			WriteMB:  a.Task.Work.WriteMB,
 		})
+	}
+	if gdec != nil {
+		s.applyGangDecision(gdec, now)
 	}
 }
 
@@ -1024,14 +1064,22 @@ func (s *Server) HandleAMHeartbeat(hb *wire.AMHeartbeat) *wire.Message {
 
 // amReplyLocked builds the progress reply for one job. Caller holds s.mu.
 func (s *Server) amReplyLocked(jobID int, ji *jobInfo) *wire.Message {
-	return &wire.Message{Type: wire.TypeAMReply, AMReply: &wire.AMReply{
-		JobID:      jobID,
-		Done:       ji.state.Status.DoneTasks(),
-		Total:      ji.state.Job.NumTasks(),
-		Finished:   ji.finished,
-		FinishedAt: ji.finishedAt,
-		Failed:     ji.failed,
-	}}
+	rep := &wire.AMReply{
+		JobID:       jobID,
+		Done:        ji.state.Status.DoneTasks(),
+		Total:       ji.state.Job.NumTasks(),
+		Finished:    ji.finished,
+		FinishedAt:  ji.finishedAt,
+		Failed:      ji.failed,
+		Preemptions: ji.preempted,
+	}
+	if ji.lastRelease != nil {
+		// Deliver each hoard-release notice once; the AM resubmits or
+		// rescales in response.
+		rep.GangRelease = ji.lastRelease
+		ji.lastRelease = nil
+	}
+	return &wire.Message{Type: wire.TypeAMReply, AMReply: rep}
 }
 
 // handleClusterStatus answers a node-liveness and fault-log query.

@@ -112,6 +112,63 @@ func localDemand(peak resources.Vector) resources.Vector {
 	return peak.With(resources.NetIn, 0).With(resources.NetOut, 0)
 }
 
+// gangRoutingDemand returns the aggregate local demand of a gang's
+// quorum — the capacity one shard must eventually co-hold, since a
+// gang pins to exactly one shard and commits all-or-nothing there.
+// Zero for non-gang jobs. Members are counted in declaration order,
+// matching the coordinator's first-fit service order.
+func gangRoutingDemand(j *workload.Job) resources.Vector {
+	var sum resources.Vector
+	if !j.Gang {
+		return sum
+	}
+	n := 0
+	for _, st := range j.Stages {
+		for i := range st.Tasks {
+			if n >= j.GangQuorum() {
+				return sum
+			}
+			sum = sum.Add(localDemand(st.Tasks[i].Peak))
+			n++
+		}
+	}
+	return sum
+}
+
+// RouteJob picks the shard for one job and reports whether the choice
+// was feasibility-driven. Non-gang jobs route exactly as RouteDemand;
+// gang jobs additionally reject shards whose aggregate live capacity
+// can never co-hold the whole quorum — routing such a gang there would
+// strand it hoarding forever, since gangs cannot span shards.
+func RouteJob(j *workload.Job, views []ShardView) (shard int, feasible bool) {
+	mean, max := jobRoutingDemand(j)
+	gangSum := gangRoutingDemand(j)
+	if gangSum.IsZero() {
+		return RouteDemand(mean, max, views), anyFeasible(max, views)
+	}
+	best := pickShard(mean, views, func(v ShardView) bool {
+		return shardFeasible(max, v) && gangSum.FitsIn(v.Capacity)
+	})
+	if best >= 0 {
+		return best, true
+	}
+	// No shard can co-hold the quorum today. Fall back to the plain
+	// demand routing: the shard core holds the gang pending (hoarding
+	// is gated by the same aggregate check) until machines register.
+	return RouteDemand(mean, max, views), false
+}
+
+// anyFeasible reports whether any shard passes the per-task
+// feasibility check.
+func anyFeasible(max resources.Vector, views []ShardView) bool {
+	for _, v := range views {
+		if shardFeasible(max, v) {
+			return true
+		}
+	}
+	return false
+}
+
 // shardFeasible reports whether some machine in the view could ever run
 // a task with the given max peak demand, comparing the best-case local
 // demand against full machine capacity (ignoring current allocation:

@@ -37,6 +37,7 @@ import (
 
 	"github.com/tetris-sched/tetris/internal/estimator"
 	"github.com/tetris-sched/tetris/internal/faults"
+	"github.com/tetris-sched/tetris/internal/gang"
 	"github.com/tetris-sched/tetris/internal/journal"
 	"github.com/tetris-sched/tetris/internal/resources"
 	"github.com/tetris-sched/tetris/internal/scheduler"
@@ -66,6 +67,11 @@ type ShardedConfig struct {
 	JournalSync   journal.SyncPolicy
 	SnapshotEvery int
 	FaultLogCap   int
+	// Gang enables gang scheduling per shard (see Config.Gang): each
+	// shard core wraps its scheduler in its own coordinator, and the
+	// router pins every gang to one shard whose aggregate capacity can
+	// co-hold its quorum.
+	Gang *gang.Config
 	// Metrics receives every shard's telemetry, each series tagged
 	// shard="<i>", plus the top layer's routing metrics.
 	Metrics *telemetry.Registry
@@ -167,6 +173,7 @@ func newShardedCore(cfg ShardedConfig) (*Sharded, error) {
 			ShardLabel:      strconv.Itoa(i),
 			Logger:          cfg.Logger,
 			ConnTimeout:     cfg.ConnTimeout,
+			Gang:            cfg.Gang,
 			sharedAdmission: g.adm,
 		}
 		if cfg.NewEstimator != nil {
@@ -451,15 +458,7 @@ func (g *Sharded) routeJob(j *workload.Job) int {
 	for i, s := range g.shards {
 		views[i] = s.RoutingSummary()
 	}
-	mean, max := jobRoutingDemand(j)
-	shard := RouteDemand(mean, max, views)
-	feasible := false
-	for _, v := range views {
-		if shardFeasible(max, v) {
-			feasible = true
-			break
-		}
-	}
+	shard, feasible := RouteJob(j, views)
 
 	g.mu.Lock()
 	defer g.mu.Unlock()

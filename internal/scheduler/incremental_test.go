@@ -133,24 +133,21 @@ func TestReservationMachineCrashMidRound(t *testing.T) {
 		if got := tt.Schedule(mk(3, -1)); len(got) != 0 {
 			t.Fatalf("round 1 placed %d tasks; fixture must starve the job", len(got))
 		}
-		if len(tt.reserved) != 1 {
-			t.Fatalf("after starvation rounds, %d reservations, want 1", len(tt.reserved))
+		if tt.res.Len() != 1 {
+			t.Fatalf("after starvation rounds, %d reservations, want 1", tt.res.Len())
 		}
-		var resMach int
-		for mid := range tt.reserved {
-			resMach = mid
-		}
+		resMach := tt.res.Machines()[0]
 		// The reserved machine crashes. serveReservations must release
 		// it, after which the still-starved task immediately gets a live
 		// machine re-reserved by detectStarvation in the same round.
 		tt.Schedule(mk(4, resMach))
-		if tt.reserved[resMach] != nil {
+		if tt.res.Held(resMach) {
 			t.Errorf("%v core: reservation still held on crashed machine %d", core, resMach)
 		}
-		if len(tt.reserved) != 1 {
-			t.Errorf("%v core: %d reservations after crash, want 1 on a live machine", core, len(tt.reserved))
+		if tt.res.Len() != 1 {
+			t.Errorf("%v core: %d reservations after crash, want 1 on a live machine", core, tt.res.Len())
 		}
-		for mid := range tt.reserved {
+		for _, mid := range tt.res.Machines() {
 			if mid == resMach {
 				t.Errorf("%v core: re-reserved the crashed machine %d", core, mid)
 			}

@@ -3,6 +3,7 @@ package scheduler
 import (
 	"testing"
 
+	"github.com/tetris-sched/tetris/internal/reserve"
 	"github.com/tetris-sched/tetris/internal/resources"
 	"github.com/tetris-sched/tetris/internal/workload"
 )
@@ -71,7 +72,7 @@ func TestStarvationDisabledByDefault(t *testing.T) {
 		v.Time = now
 		apply(v, tet.Schedule(v))
 	}
-	if len(tet.reserved) != 0 {
+	if tet.res.Len() != 0 {
 		t.Error("reservations made with StarvationSec=0")
 	}
 }
@@ -86,8 +87,8 @@ func TestReservationClearedWhenTaskGone(t *testing.T) {
 	tet.Schedule(v)
 	v.Time = 5
 	tet.Schedule(v) // whale starved → reservation
-	if len(tet.reserved) != 1 {
-		t.Fatalf("expected 1 reservation, got %d", len(tet.reserved))
+	if tet.res.Len() != 1 {
+		t.Fatalf("expected 1 reservation, got %d", tet.res.Len())
 	}
 	// Whale's task leaves the Pending state out of band: its reservation
 	// must clear on the next round. (Another queued task may legitimately
@@ -97,9 +98,38 @@ func TestReservationClearedWhenTaskGone(t *testing.T) {
 	whale.Status.MarkRunning(workload.TaskID{Job: 0, Stage: 0, Index: 0})
 	v.Time = 6
 	tet.Schedule(v)
-	for m, task := range tet.reserved {
-		if task == whaleTask {
+	tet.res.Each(func(m int, r reserve.Reservation) {
+		if r.Task == whaleTask {
 			t.Errorf("machine %d still reserved for the departed whale", m)
 		}
+	})
+}
+
+// TestStarvationNoReservationWhenInfeasible is the regression test for
+// the feasibility bug: a starved task whose max-peak demand exceeds
+// every machine's total capacity must NOT earn a reservation — the old
+// code reserved the largest machine anyway, closing it to all other
+// work forever even though the task could never run there.
+func TestStarvationNoReservationWhenInfeasible(t *testing.T) {
+	cfg := DefaultTetrisConfig()
+	cfg.StarvationSec = 1
+	cfg.Fairness = 0
+	tet := NewTetris(cfg)
+
+	// A leviathan task that outsizes the machine's total capacity, plus
+	// minnows keeping the machine busy enough that nothing is idle.
+	leviathan := mkJob(0, 1, resources.New(32, 64, 0, 0, 0, 0), 160)
+	minnows := mkJob(1, 100, resources.New(2, 4, 0, 0, 0, 0), 20)
+	v := mkView(1, machine, leviathan, minnows)
+	v.Machines[0].Allocated = resources.New(8, 16, 0, 0, 0, 0)
+
+	for _, now := range []float64{0, 5, 10, 20} {
+		v.Time = now
+		apply(v, tet.Schedule(v))
 	}
+	tet.res.Each(func(m int, r reserve.Reservation) {
+		if r.Holder == 0 {
+			t.Errorf("machine %d reserved for a task that can never fit its capacity", m)
+		}
+	})
 }

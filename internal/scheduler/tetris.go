@@ -1,8 +1,7 @@
 package scheduler
 
 import (
-	"sort"
-
+	"github.com/tetris-sched/tetris/internal/reserve"
 	"github.com/tetris-sched/tetris/internal/resources"
 	"github.com/tetris-sched/tetris/internal/workload"
 )
@@ -135,12 +134,12 @@ type Tetris struct {
 	localsCursor map[int]int
 	indexedJobs  map[int]bool
 	// Starvation prevention (§3.5 extension): when a runnable task has
-	// waited past StarvationSec, a machine is reserved for it.
+	// waited past StarvationSec, a whole machine is reserved for it in
+	// res — the shared reservation table (internal/reserve) that gang
+	// capacity holds also live in when a gang coordinator wraps this
+	// scheduler.
 	firstSeen map[*workload.Task]float64
-	reserved  map[int]*workload.Task // machine → starved task holding it
-	// resOrder is scratch for iterating reservations in deterministic
-	// (machine-id) order.
-	resOrder []int
+	res       *reserve.Table
 	// active maps job ID → state for the jobs in the current View;
 	// rebuilt each round by evictDeparted, which sweeps the per-job maps
 	// above so finished jobs cannot grow them without bound.
@@ -187,7 +186,7 @@ func NewTetris(cfg TetrisConfig) *Tetris {
 		localsCursor: make(map[int]int),
 		indexedJobs:  make(map[int]bool),
 		firstSeen:    make(map[*workload.Task]float64),
-		reserved:     make(map[int]*workload.Task),
+		res:          reserve.New(),
 		active:       make(map[int]*JobState),
 	}
 	if cfg.Core == CoreParallel {
@@ -198,6 +197,14 @@ func NewTetris(cfg TetrisConfig) *Tetris {
 
 // Name implements Scheduler.
 func (t *Tetris) Name() string { return "tetris" }
+
+// Reservations exposes the shared reservation table. A gang coordinator
+// (internal/gang) wrapping this scheduler installs its capacity hoards
+// in the same table the starvation guard uses, so each side's holds are
+// visible to the other: the fill loops treat any reserved machine as
+// closed, and detectStarvation never reserves a machine a gang already
+// holds.
+func (t *Tetris) Reservations() *reserve.Table { return t.res }
 
 // Config returns the scheduler's configuration.
 func (t *Tetris) Config() TetrisConfig { return t.cfg }
@@ -282,11 +289,12 @@ func (t *Tetris) evictDeparted(v *View) {
 			delete(t.firstSeen, task)
 		}
 	}
-	for mid, task := range t.reserved {
-		if t.active[task.ID.Job] == nil {
-			delete(t.reserved, mid)
-		}
-	}
+	// Only starved-task reservations are swept here: gang hoards are
+	// owned by the coordinator (which hides their holder jobs from this
+	// scheduler's view, so they would always look departed).
+	t.res.Sweep(0, func(mid int, r reserve.Reservation) bool {
+		return r.Kind == reserve.Starved && t.active[r.Holder] == nil
+	}, nil)
 	if !departed {
 		return
 	}
@@ -475,22 +483,21 @@ func (t *Tetris) Schedule(v *View) []Assignment {
 // equivalence) stop being deterministic.
 func (t *Tetris) serveReservations(v *View, free []resources.Vector, rs *roundState) []Assignment {
 	var out []Assignment
-	t.resOrder = t.resOrder[:0]
-	for mid := range t.reserved {
-		t.resOrder = append(t.resOrder, mid)
-	}
-	sort.Ints(t.resOrder)
-	for _, mid := range t.resOrder {
-		task := t.reserved[mid]
+	for _, mid := range t.res.Machines() {
+		r, _ := t.res.Get(mid)
+		if r.Kind != reserve.Starved {
+			continue // gang hoards are managed by the coordinator
+		}
+		task := r.Task
 		j, ok := rs.byJob[task.ID.Job]
 		if !ok || j.Status.State(task.ID) != workload.Pending {
-			delete(t.reserved, mid) // placed elsewhere or job finished
+			t.res.Release(mid) // placed elsewhere or job finished
 			continue
 		}
 		if mid >= len(v.Machines) || v.Machines[mid].Down {
 			// Reserved machine gone or crashed: release the reservation;
 			// the task re-enters starvation detection on a live machine.
-			delete(t.reserved, mid)
+			t.res.Release(mid)
 			continue
 		}
 		peak := v.DemandPeak(j, task)
@@ -515,7 +522,7 @@ func (t *Tetris) serveReservations(v *View, free []resources.Vector, rs *roundSt
 		for _, rc := range remote {
 			free[rc.Machine] = free[rc.Machine].Sub(rc.Charge).Max(resources.Vector{})
 		}
-		delete(t.reserved, mid)
+		t.res.Release(mid)
 		delete(t.firstSeen, task)
 	}
 	return out
@@ -525,10 +532,12 @@ func (t *Tetris) serveReservations(v *View, free []resources.Vector, rs *roundSt
 // runnable and reserves a machine for at most one newly starved task per
 // round. Caller must have StarvationSec > 0.
 func (t *Tetris) detectStarvation(v *View, rs *roundState) {
-	alreadyReserved := make(map[*workload.Task]bool, len(t.reserved))
-	for _, task := range t.reserved {
-		alreadyReserved[task] = true
-	}
+	alreadyReserved := make(map[*workload.Task]bool, t.res.Len())
+	t.res.Each(func(mid int, r reserve.Reservation) {
+		if r.Task != nil {
+			alreadyReserved[r.Task] = true
+		}
+	})
 	for _, sr := range rs.stages {
 		if sr.cursor >= len(sr.tasks) {
 			continue
@@ -547,10 +556,17 @@ func (t *Tetris) detectStarvation(v *View, rs *roundState) {
 			continue
 		}
 		// Starved: reserve the unreserved machine with the most capacity
-		// headroom for it.
+		// headroom for it — but only a machine the task could ever run
+		// on. Without the max-peak feasibility check the reservation
+		// pins a machine the task never fits (e.g. a whale task on a
+		// minnow-sized fleet), closing that machine to everyone forever.
+		peak := v.DemandPeak(sr.job, task)
 		best, bestFree := -1, -1.0
 		for _, m := range v.Machines {
-			if m.Down || t.reserved[m.ID] != nil {
+			if m.Down || t.res.Held(m.ID) {
+				continue
+			}
+			if !EffectiveDemand(peak, task, m.ID).FitsIn(m.Capacity) {
 				continue
 			}
 			if f := m.Capacity.Sum(); f > bestFree {
@@ -558,7 +574,12 @@ func (t *Tetris) detectStarvation(v *View, rs *roundState) {
 			}
 		}
 		if best >= 0 {
-			t.reserved[best] = task
+			t.res.Put(best, reserve.Reservation{
+				Kind:   reserve.Starved,
+				Holder: task.ID.Job,
+				Task:   task,
+				Since:  v.Time,
+			})
 			return // at most one new reservation per round
 		}
 	}

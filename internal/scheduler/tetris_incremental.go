@@ -408,7 +408,7 @@ func (t *Tetris) scheduleIncremental(v *View) []Assignment {
 		if m.Down {
 			continue // crashed/unreachable machine: place nothing
 		}
-		if t.reserved[m.ID] != nil {
+		if t.res.Held(m.ID) {
 			continue // machine held for a starved task
 		}
 		for fill := 0; ; fill++ {

@@ -253,7 +253,7 @@ func (t *Tetris) parScatter(v *View, rs *roundState) {
 
 	p.mids = p.mids[:0]
 	for _, m := range v.Machines {
-		if m.Down || t.reserved[m.ID] != nil {
+		if m.Down || t.res.Held(m.ID) {
 			continue // the fill loops never consult these machines
 		}
 		if ic.free[m.ID].IsZero() {

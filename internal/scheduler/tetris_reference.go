@@ -85,7 +85,7 @@ func (t *Tetris) scheduleReference(v *View) []Assignment {
 		if m.Down {
 			continue // crashed/unreachable machine: place nothing
 		}
-		if t.reserved[m.ID] != nil {
+		if t.res.Held(m.ID) {
 			continue // machine held for a starved task
 		}
 		for {

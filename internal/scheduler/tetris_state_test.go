@@ -27,7 +27,7 @@ func tetrisStateSizes(t *Tetris) map[string]int {
 		"localsCursor": len(t.localsCursor),
 		"indexedJobs":  len(t.indexedJobs),
 		"firstSeen":    len(t.firstSeen),
-		"reserved":     len(t.reserved),
+		"reserved":     t.res.Len(),
 		"active":       len(t.active),
 		"incTasks":     len(t.inc.tasks),
 	}

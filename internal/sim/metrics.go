@@ -78,6 +78,9 @@ func newSimMetrics(reg *telemetry.Registry) *simMetrics {
 // No-op for schedulers without a parallel core or rounds that ran no
 // scatter.
 func (m *simMetrics) observeParallel(sched scheduler.Scheduler) {
+	if w, ok := sched.(interface{ Inner() scheduler.Scheduler }); ok {
+		sched = w.Inner()
+	}
 	p, ok := sched.(interface {
 		ParallelStats() (scheduler.ParallelStats, bool)
 	})

@@ -81,6 +81,18 @@ type Result struct {
 	// Stragglers counts task attempts started degraded by straggler
 	// injection.
 	Stragglers int
+	// Preemptions counts running attempts evicted for higher-priority
+	// gangs (each also counts in FailedAttempts — preemption charges the
+	// normal attempt accounting).
+	Preemptions int
+	// GangCommits counts gang quorums admitted all-or-nothing;
+	// GangWaits records each commit's admission latency (seconds from
+	// first quorum want to atomic commit), in commit order.
+	GangCommits int
+	GangWaits   []float64
+	// GangReleases counts hoard epochs that hit the hold timeout and
+	// returned their machines to the pool.
+	GangReleases int
 	// MachineSamples is the number of (machine × sample) observations
 	// behind HighUse.
 	MachineSamples int
@@ -108,6 +120,15 @@ func (r *Result) JCTs() []float64 {
 		out[i] = r.Jobs[id].JCT
 	}
 	return out
+}
+
+// GangWaitPercentile returns the p-th percentile gang admission
+// latency (0 when no gang committed).
+func (r *Result) GangWaitPercentile(p float64) float64 {
+	if len(r.GangWaits) == 0 {
+		return 0
+	}
+	return stats.Percentile(append([]float64(nil), r.GangWaits...), p)
 }
 
 // RecoveryStats summarizes the run's fault log: crash and recovery

@@ -22,6 +22,7 @@ import (
 	"github.com/tetris-sched/tetris/internal/cluster"
 	"github.com/tetris-sched/tetris/internal/eventq"
 	"github.com/tetris-sched/tetris/internal/faults"
+	"github.com/tetris-sched/tetris/internal/gang"
 	"github.com/tetris-sched/tetris/internal/resources"
 	"github.com/tetris-sched/tetris/internal/scheduler"
 	"github.com/tetris-sched/tetris/internal/telemetry"
@@ -482,13 +483,52 @@ func (s *Sim) schedule() {
 	s.viewJobs = v.Jobs
 	s.updateReported()
 	t0 := time.Now()
-	asgs := s.cfg.Scheduler.Schedule(v)
+	var asgs []scheduler.Assignment
+	var gdec *gang.Decision
+	if gc, ok := s.cfg.Scheduler.(*gang.Coordinator); ok {
+		run := make([]gang.Running, 0, len(s.running))
+		for _, rt := range s.running {
+			run = append(run, gang.Running{
+				JobID: rt.job.state.Job.ID, Task: rt.task.ID,
+				Machine: rt.machine, Demand: rt.local,
+			})
+		}
+		dec := gc.Decide(v, run)
+		gdec = &dec
+		asgs = dec.Assignments
+	} else {
+		asgs = s.cfg.Scheduler.Schedule(v)
+	}
 	s.metrics.scheduleRound.Observe(time.Since(t0).Seconds())
 	s.metrics.observeParallel(s.cfg.Scheduler)
 	s.metrics.placements.Add(uint64(len(asgs)))
 	for _, a := range asgs {
 		s.start(a)
 	}
+	if gdec != nil {
+		s.applyGangDecision(gdec)
+	}
+}
+
+// applyGangDecision acts on the non-assignment parts of a gang round:
+// preempted attempts fail through the normal fault path (released,
+// requeued, attempt counted — like a crash kill), and commit/release
+// events land in the result's gang accounting.
+func (s *Sim) applyGangDecision(dec *gang.Decision) {
+	for _, p := range dec.Preemptions {
+		for _, rt := range s.running {
+			if rt.task.ID == p.Task {
+				s.failTask(rt)
+				s.res.Preemptions++
+				break
+			}
+		}
+	}
+	for _, cm := range dec.Commits {
+		s.res.GangCommits++
+		s.res.GangWaits = append(s.res.GangWaits, cm.WaitSec)
+	}
+	s.res.GangReleases += len(dec.Releases)
 }
 
 // start applies one assignment: ledgers, status, fluid components.

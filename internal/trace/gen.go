@@ -287,6 +287,88 @@ func GenerateSuite(cfg Config) *workload.Workload {
 	return w
 }
 
+// gangClass is one gang-job archetype. ML trainers are
+// parameter-server-style: many mid-size members, elastic quorum
+// (training can start below full width and scale up). MPI solvers are
+// tightly coupled: every rank must start together, so the quorum is
+// always the full membership.
+type gangClass struct {
+	name               string
+	minTasks, maxTasks int
+	elastic            bool    // MinMembers may be below NumTasks
+	cores, memGB       float64 // per-member median demand
+	durationSec        float64
+}
+
+var gangClasses = []gangClass{
+	{"ml-train", 4, 16, true, 4, 8, 300},
+	{"mpi-solve", 4, 12, false, 2, 4, 200},
+}
+
+// generateGangJob creates one single-stage gang job. Members are
+// homogeneous — all-reduce or parameter-server synchronization keeps a
+// gang in lockstep, so one member's demand profile is every member's —
+// and carry no input blocks: training data and solver state are read
+// from a distributed store at negligible per-step cost, so gang
+// placement has no input locality to exploit (which is also what keeps
+// the coordinator's all-or-nothing commit a pure function of the free
+// ledger).
+func generateGangJob(r *rand.Rand, id int, class gangClass) *workload.Job {
+	n := class.minTasks + r.Intn(class.maxTasks-class.minTasks+1)
+	j := &workload.Job{
+		ID: id, Name: class.name, Weight: 1,
+		Gang:     true,
+		Priority: 5 + r.Intn(5),
+	}
+	if class.elastic && r.Float64() < 0.5 {
+		j.MinMembers = max(2, n*3/4)
+	}
+	cores := clamp(lognormal(r, class.cores, 0.3), 1, 16)
+	mem := clamp(lognormal(r, class.memGB, 0.3), 1, 30)
+	dur := clamp(lognormal(r, class.durationSec, 0.4), 30, 1200)
+	st := &workload.Stage{Name: class.name}
+	for i := 0; i < n; i++ {
+		t := &workload.Task{
+			ID:   workload.TaskID{Job: id, Stage: 0, Index: i},
+			Peak: resources.New(cores, mem, 0, 0, 0, 0),
+		}
+		t.Work.CPUSeconds = cores * dur
+		st.Tasks = append(st.Tasks, t)
+	}
+	j.Stages = []*workload.Stage{st}
+	return j
+}
+
+// GenerateGangMix builds the gang-scenario workload: gangFraction of
+// the jobs are ML/MPI gangs (class picked uniformly), the rest are
+// small preemptible batch fillers — the churn a waiting gang must not
+// be starved by, and the eviction pool its preemption draws from.
+// gangFraction ≤ 0 defaults to 0.3.
+func GenerateGangMix(cfg Config, gangFraction float64) *workload.Workload {
+	cfg = cfg.withDefaults()
+	if gangFraction <= 0 {
+		gangFraction = 0.3
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	w := &workload.Workload{NumMachines: cfg.NumMachines}
+	filler := jobClass{name: "filler", mapTasks: 20, outputRatio: 0.5}
+	for i := 0; i < cfg.NumJobs; i++ {
+		var j *workload.Job
+		if r.Float64() < gangFraction {
+			j = generateGangJob(r, i, gangClasses[r.Intn(len(gangClasses))])
+		} else {
+			j = generateJob(r, cfg, i, filler, nil)
+			j.Preemptible = true
+			j.Priority = r.Intn(3)
+		}
+		if cfg.ArrivalSpanSec > 0 {
+			j.Arrival = r.Float64() * cfg.ArrivalSpanSec
+		}
+		w.Jobs = append(w.Jobs, j)
+	}
+	return w
+}
+
 // GenerateFacebookLike builds a trace with the heavy-tailed job-size
 // distribution of production clusters: most jobs are small, a few have
 // thousands of tasks. Used for the §5.3 simulation experiments.

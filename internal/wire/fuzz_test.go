@@ -58,6 +58,20 @@ func FuzzWireRoundTrip(f *testing.F) {
 		Kill:       []workload.TaskID{{Job: 1, Stage: 1, Index: 1}},
 		FullReport: true,
 	}}))
+	f.Add(valid(&Message{Type: TypeNMReply, NMReply: &NMReply{
+		Preempt: []TaskPreempt{{
+			Task:   workload.TaskID{Job: 4, Stage: 0, Index: 2},
+			JobID:  4,
+			ForJob: 11,
+		}},
+	}}))
+	f.Add(valid(&Message{Type: TypeAMReply, AMReply: &AMReply{
+		JobID:       11,
+		Done:        3,
+		Total:       8,
+		Preemptions: 2,
+		GangRelease: &GangRelease{JobID: 11, Held: 3, Reason: "hold-timeout"},
+	}}))
 	f.Add(valid(&Message{Type: TypeError, Error: "boom"}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {

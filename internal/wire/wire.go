@@ -123,6 +123,31 @@ type TaskLaunch struct {
 	WriteMB float64 `json:"writeMB"`
 }
 
+// TaskPreempt orders a node to evict one running task so a gang can be
+// admitted. Unlike Kill (orphan reconciliation), the eviction is an
+// accounted scheduling decision: the RM has already journaled it,
+// charged the task's attempt, and requeued the task; the node must
+// stop the task and report no completion for it.
+type TaskPreempt struct {
+	Task  workload.TaskID `json:"task"`
+	JobID int             `json:"jobID"`
+	// ForJob is the gang job the eviction makes room for, for logs and
+	// AM-side diagnostics.
+	ForJob int `json:"forJob"`
+}
+
+// GangRelease notifies an AM that its gang's hoarded partial placement
+// timed out and was returned to the pool (the gang is still queued and
+// keeps waiting; this is a progress signal, not a failure).
+type GangRelease struct {
+	JobID int `json:"jobID"`
+	// Held is the number of machines whose hoarded capacity was
+	// released.
+	Held int `json:"held"`
+	// Reason is a human-readable cause ("hold-timeout").
+	Reason string `json:"reason,omitempty"`
+}
+
 // NMReply answers a registration or heartbeat with tasks to launch and
 // orphaned tasks to kill.
 type NMReply struct {
@@ -132,6 +157,10 @@ type NMReply struct {
 	// was reclaimed and re-run elsewhere while the node was presumed
 	// dead). The node must stop them and report no completion.
 	Kill []workload.TaskID `json:"kill,omitempty"`
+	// Preempt lists accounted scheduling evictions (gang admission);
+	// the node stops each task exactly as for Kill, but the RM has
+	// already requeued the attempts.
+	Preempt []TaskPreempt `json:"preempt,omitempty"`
 	// FullReport asks the node to send a full (non-delta) availability
 	// report on its next heartbeat: the RM has no authoritative usage
 	// view for the node (it just registered, was declared dead, or
@@ -216,6 +245,12 @@ type AMReply struct {
 	// per-task attempt cap under node failures. Finished is also set so
 	// pollers stop.
 	Failed bool `json:"failed,omitempty"`
+	// Preemptions counts this job's tasks evicted for gang admission so
+	// far; the evicted attempts are requeued and re-run automatically.
+	Preemptions int `json:"preemptions,omitempty"`
+	// GangRelease reports the most recent hoard timeout for a gang job,
+	// if any since the last heartbeat.
+	GangRelease *GangRelease `json:"gangRelease,omitempty"`
 }
 
 // ClusterStatusReply answers a TypeClusterStatus query (an empty-payload

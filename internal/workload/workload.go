@@ -187,6 +187,35 @@ type Job struct {
 	Lineage int
 	// Weight is the fair-share weight (1 for all jobs in the paper).
 	Weight float64
+	// Gang marks an all-or-nothing job (distributed ML training, MPI):
+	// no task may launch until at least MinMembers tasks can be
+	// co-placed in a single scheduling round. Gang jobs must be
+	// single-stage.
+	Gang bool
+	// MinMembers is the gang quorum. Zero means all tasks. Only
+	// meaningful when Gang is set.
+	MinMembers int
+	// Preemptible marks a job whose running tasks may be evicted to
+	// admit a higher-priority gang; the eviction is charged through the
+	// normal attempt accounting (the task re-queues and re-runs).
+	Preemptible bool
+	// Priority orders jobs for gang admission and preemption: gangs are
+	// served highest-priority first, and only strictly lower-priority
+	// preemptible tasks may be evicted for a gang. Zero is the default.
+	Priority int
+}
+
+// GangQuorum returns the number of tasks that must be co-placed for a
+// gang job (MinMembers, or all tasks when MinMembers is zero). Zero for
+// non-gang jobs.
+func (j *Job) GangQuorum() int {
+	if !j.Gang {
+		return 0
+	}
+	if j.MinMembers <= 0 {
+		return j.NumTasks()
+	}
+	return j.MinMembers
 }
 
 // NumTasks returns the total task count across stages.
@@ -274,6 +303,14 @@ func (j *Job) Validate() error {
 	}
 	if seen != n {
 		return fmt.Errorf("job %d: stage dependency cycle", j.ID)
+	}
+	if j.Gang {
+		if len(j.Stages) != 1 {
+			return fmt.Errorf("job %d: gang jobs must be single-stage, got %d stages", j.ID, len(j.Stages))
+		}
+		if j.MinMembers < 0 || j.MinMembers > j.NumTasks() {
+			return fmt.Errorf("job %d: gang MinMembers %d out of range [0,%d]", j.ID, j.MinMembers, j.NumTasks())
+		}
 	}
 	return nil
 }

@@ -42,6 +42,7 @@ import (
 	"github.com/tetris-sched/tetris/internal/cluster"
 	"github.com/tetris-sched/tetris/internal/estimator"
 	"github.com/tetris-sched/tetris/internal/faults"
+	"github.com/tetris-sched/tetris/internal/gang"
 	"github.com/tetris-sched/tetris/internal/resources"
 	"github.com/tetris-sched/tetris/internal/scheduler"
 	"github.com/tetris-sched/tetris/internal/sim"
@@ -225,6 +226,39 @@ func SaveWorkload(path string, wl *Workload) error { return trace.SaveFile(path,
 
 // LoadWorkload reads a workload from the named file.
 func LoadWorkload(path string) (*Workload, error) { return trace.LoadFile(path) }
+
+// Gang scheduling.
+type (
+	// GangConfig parameterizes the gang coordinator: hold timeout,
+	// preemption deadline, wave spacing, per-round eviction budget.
+	GangConfig = gang.Config
+	// GangCoordinator wraps a Scheduler with all-or-nothing gang
+	// admission, timeout-and-release of hoarded placements, and
+	// checkpoint-aware preemption of low-priority preemptible tasks.
+	GangCoordinator = gang.Coordinator
+	// GangDecision is one round's gang outcome: assignments plus the
+	// preemptions, commits and releases the round produced.
+	GangDecision = gang.Decision
+)
+
+// DefaultGangConfig returns the gang coordinator's default operating
+// point.
+func DefaultGangConfig() GangConfig { return gang.DefaultConfig() }
+
+// NewGangCoordinator wraps inner with the gang-admission layer. The
+// wrapped scheduler is a plain Scheduler (gang jobs are admitted
+// all-or-nothing, singletons pass through); use Decide directly to
+// also observe preemptions, commits and releases.
+func NewGangCoordinator(inner Scheduler, cfg GangConfig) *GangCoordinator {
+	return gang.New(inner, cfg)
+}
+
+// GenerateGangWorkload builds the gang-scenario mix: gangFraction
+// ML/MPI gang jobs among small preemptible batch fillers (≤0 defaults
+// to 0.3).
+func GenerateGangWorkload(cfg TraceConfig, gangFraction float64) *Workload {
+	return trace.GenerateGangMix(cfg, gangFraction)
+}
 
 // Fault injection & recovery.
 type (
