@@ -48,6 +48,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, JSON /debug/status and /debug/trace, and pprof on this address (empty = off)")
 
 		deltaBeats = flag.Bool("delta-heartbeats", false, "NMs send delta availability reports when usage is unchanged since the last acked beat")
+		wireCodec  = flag.String("wire-codec", "json", "wire codec NMs and AMs speak to the RM: json (legacy v0 frames) or binary (v1 zero-copy frames; the RM replies in kind)")
 
 		coreName = flag.String("core", "incremental", "tetris schedule core: incremental | reference | parallel")
 		workers  = flag.Int("sched-workers", 0, "parallel core pool size (0 = GOMAXPROCS; needs -core=parallel)")
@@ -61,6 +62,10 @@ func main() {
 		shedLimit   = flag.Int("shed-limit", 0, "backlog where every submission sheds (0 = 2x highwater)")
 	)
 	flag.Parse()
+	codec, err := wire.ParseCodec(*wireCodec)
+	if err != nil {
+		log.Fatal(err)
+	}
 	syncPolicy, err := journal.ParsePolicy(*fsyncMode)
 	if err != nil {
 		log.Fatalf("-fsync: %v", err)
@@ -170,6 +175,7 @@ func main() {
 			Logger:          logger,
 			Metrics:         reg,
 			DeltaHeartbeats: *deltaBeats,
+			Codec:           codec,
 		})
 		nmWG.Add(1)
 		go func() {
@@ -234,7 +240,7 @@ func main() {
 		amWG.Add(1)
 		go func() {
 			defer amWG.Done()
-			res, err := am.Run(ctx, am.Config{RMAddr: srv.Addr(), Job: j, Tenant: *tenant, Metrics: reg})
+			res, err := am.Run(ctx, am.Config{RMAddr: srv.Addr(), Job: j, Tenant: *tenant, Metrics: reg, Codec: codec})
 			if err != nil {
 				if ctx.Err() == nil {
 					log.Printf("job %d: %v", j.ID, err)

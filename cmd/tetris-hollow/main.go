@@ -13,10 +13,18 @@
 //
 //	benchgate -check BENCH_scale_smoke.json -require rounds_per_sec,...
 //
+// -scenario wire runs the same workload twice at equal node count —
+// once with legacy JSON frames and individual heartbeats, once with the
+// v1 binary codec and batched heartbeats — and writes one
+// BENCH_scale_wire.json carrying the binary run's metrics plus the
+// JSON baseline under json_* keys and the ratio
+// wire_bytes_binary_over_json, the number CI gates on.
+//
 // Examples:
 //
 //	tetris-hollow -nodes 1000 -jobs 12 -duration 60s -scenario smoke
 //	tetris-hollow -nodes 5000 -conns 16 -heartbeat 2s -duration 120s -scenario 5k
+//	tetris-hollow -nodes 50000 -conns 64 -heartbeat 10s -batch 128 -scenario wire
 package main
 
 import (
@@ -38,7 +46,31 @@ import (
 	"github.com/tetris-sched/tetris/internal/rm"
 	"github.com/tetris-sched/tetris/internal/telemetry"
 	"github.com/tetris-sched/tetris/internal/trace"
+	"github.com/tetris-sched/tetris/internal/wire"
 )
+
+// options is one run's fully resolved configuration. -scenario wire
+// clones it twice with different codec/batch settings.
+type options struct {
+	nodes, conns, ams, jobs, taskCap int
+	duration, heartbeat, poll        time.Duration
+	nodeTimeout                      time.Duration
+	compression                      float64
+	seed                             int64
+	delta                            bool
+	codec                            wire.Codec
+	batch                            int
+	scenario                         string
+	gangFrac                         float64
+	crashFrac                        float64
+	coreName                         string
+	shards                           int
+	logger                           *log.Logger
+
+	tenants, stormWorkers, stormBatch int
+	quotaJobs, shedHigh, shedLimit    int
+	stormRate, tenantRate             float64
+}
 
 func main() {
 	var (
@@ -47,13 +79,15 @@ func main() {
 		ams         = flag.Int("ams", 0, "hollow job managers (0 = one per 16 jobs)")
 		jobs        = flag.Int("jobs", 12, "jobs to generate and submit")
 		taskCap     = flag.Int("task-cap", 60, "truncate generated stages to this many tasks (0 = keep full §5.1 sizes)")
-		duration    = flag.Duration("duration", 60*time.Second, "hard wall-clock budget for the run")
+		duration    = flag.Duration("duration", 60*time.Second, "hard wall-clock budget for the run (per leg under -scenario wire)")
 		heartbeat   = flag.Duration("heartbeat", time.Second, "per-node heartbeat interval")
 		poll        = flag.Duration("poll", 500*time.Millisecond, "per-job AM progress poll interval")
 		compression = flag.Float64("compression", 50, "time compression for synthetic task durations and job arrivals")
 		seed        = flag.Int64("seed", 1, "seed for workload, fault plan, stagger and sampling")
 		delta       = flag.Bool("delta", true, "send delta availability reports (unchanged usage omitted from heartbeats)")
-		scenario    = flag.String("scenario", "smoke", "scenario name; output file is BENCH_scale_<scenario>.json. \"gang\" switches to the ML/MPI gang workload and wraps the RM scheduler in the gang coordinator")
+		codecName   = flag.String("codec", "json", "wire codec for fleet traffic: json (legacy v0 frames) or binary (v1 zero-copy frames)")
+		batch       = flag.Int("batch", 0, "coalesce up to this many nodes' heartbeats per frame (0 = individual beats; the binary leg of -scenario wire defaults to 64)")
+		scenario    = flag.String("scenario", "smoke", "scenario name; output file is BENCH_scale_<scenario>.json. \"gang\" switches to the ML/MPI gang workload and wraps the RM scheduler in the gang coordinator. \"wire\" runs a JSON baseline then a binary+batched leg and emits their comparison")
 		gangFrac    = flag.Float64("gang-fraction", 0.5, "fraction of gang jobs in -scenario gang")
 		outDir      = flag.String("out", ".", "directory for the BENCH snapshot")
 		nodeTimeout = flag.Duration("node-timeout", 10*time.Second, "RM failure-detector heartbeat silence threshold (0 = off)")
@@ -78,14 +112,106 @@ func main() {
 	if *shards < 1 {
 		log.Fatal("-shards must be >= 1")
 	}
+	codec, err := wire.ParseCodec(*codecName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var logger *log.Logger
 	if *verbose {
 		logger = log.New(os.Stderr, "", log.Lmicroseconds)
 	}
+	o := options{
+		nodes: *nodes, conns: *conns, ams: *ams, jobs: *jobs, taskCap: *taskCap,
+		duration: *duration, heartbeat: *heartbeat, poll: *poll, nodeTimeout: *nodeTimeout,
+		compression: *compression, seed: *seed, delta: *delta,
+		codec: codec, batch: *batch,
+		scenario: *scenario, gangFrac: *gangFrac, crashFrac: *crashFrac,
+		coreName: *coreName, shards: *shards, logger: logger,
+		tenants: *tenants, stormWorkers: *stormWorkers, stormBatch: *stormBatch,
+		quotaJobs: *quotaJobs, shedHigh: *shedHigh, shedLimit: *shedLimit,
+		stormRate: *stormRate, tenantRate: *tenantRate,
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	var snap *bench.Snapshot
+	var failed int
+	if *scenario == "wire" {
+		snap, failed, err = runWire(ctx, o)
+	} else {
+		snap, failed, err = runOnce(ctx, o)
+	}
+	if err != nil {
+		log.Fatalf("tetris-hollow: %v", err)
+	}
+	out := *outDir + "/BENCH_scale_" + *scenario + ".json"
+	if err := snap.WriteFile(out); err != nil {
+		log.Fatalf("tetris-hollow: %v", err)
+	}
+	fmt.Printf("  snapshot            %s\n", out)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runWire measures the wire overhaul: the same workload at equal node
+// count over legacy JSON frames with individual heartbeats, then over
+// the binary codec with batched heartbeats. The emitted snapshot is the
+// binary leg's, extended with the baseline's numbers under json_* keys
+// and the wire_bytes_binary_over_json ratio CI gates on (≤ 0.6 means
+// the binary+batched wire spends at least 40% fewer bytes per node).
+func runWire(ctx context.Context, o options) (*bench.Snapshot, int, error) {
+	baseline := o
+	baseline.scenario = "wire-json"
+	baseline.codec = wire.CodecJSON
+	baseline.batch = 0
+	jsonSnap, jsonFailed, err := runOnce(ctx, baseline)
+	if err != nil {
+		return nil, jsonFailed, fmt.Errorf("json leg: %w", err)
+	}
+
+	binary := o
+	binary.scenario = "wire-binary"
+	binary.codec = wire.CodecBinary
+	if binary.batch <= 1 {
+		binary.batch = 64
+	}
+	snap, failed, err := runOnce(ctx, binary)
+	if err != nil {
+		return nil, failed, fmt.Errorf("binary leg: %w", err)
+	}
+
+	snap.Scenario = "wire"
+	snap.Config["baseline_codec"] = "json"
+	snap.Config["codec"] = "binary"
+	for _, k := range []string{
+		"wire_bytes_per_node_per_sec",
+		"heartbeat_p50_seconds",
+		"heartbeat_p99_seconds",
+		"rounds_per_sec",
+		"cpu_seconds_per_node_per_sec",
+		"beats_per_sec",
+	} {
+		snap.Metrics["json_"+k] = jsonSnap.Metrics[k]
+	}
+	ratio := safeDiv(snap.Metrics["wire_bytes_per_node_per_sec"],
+		jsonSnap.Metrics["wire_bytes_per_node_per_sec"])
+	snap.Metrics["wire_bytes_binary_over_json"] = ratio
+	fmt.Printf("tetris-hollow: wire comparison at %d nodes — %.0f → %.0f bytes/node/sec (binary/json = %.3f)\n",
+		o.nodes, jsonSnap.Metrics["wire_bytes_per_node_per_sec"],
+		snap.Metrics["wire_bytes_per_node_per_sec"], ratio)
+	return snap, jsonFailed + failed, nil
+}
+
+// runOnce boots one RM, runs one fleet + AM pool (+ optional storm) to
+// completion or the duration budget, and returns the measurement
+// snapshot plus the count of failed jobs.
+func runOnce(ctx context.Context, o options) (*bench.Snapshot, int, error) {
 	reg := telemetry.NewRegistry()
 	schedCfg := tetris.DefaultConfig()
-	switch *coreName {
+	switch o.coreName {
 	case "incremental":
 		schedCfg.Core = tetris.CoreIncremental
 	case "reference":
@@ -93,19 +219,19 @@ func main() {
 	case "parallel":
 		schedCfg.Core = tetris.CoreParallel
 	default:
-		log.Fatalf("unknown core %q (want incremental, reference or parallel)", *coreName)
+		return nil, 0, fmt.Errorf("unknown core %q (want incremental, reference or parallel)", o.coreName)
 	}
 	// With -tenants the admission front door guards submissions: the
 	// storm's anonymous masses get default quotas while the AM fleet
 	// submits as the high-priority "fleet" tenant, so the real workload
 	// rides above the shed floor.
 	var admCfg *rm.AdmissionConfig
-	if *tenants > 0 {
+	if o.tenants > 0 {
 		admCfg = &rm.AdmissionConfig{
-			Defaults:      rm.TenantLimits{MaxQueuedJobs: *quotaJobs, SubmitRate: *tenantRate},
+			Defaults:      rm.TenantLimits{MaxQueuedJobs: o.quotaJobs, SubmitRate: o.tenantRate},
 			Tenants:       map[string]rm.TenantLimits{"fleet": {Priority: 9}},
-			ShedHighWater: *shedHigh,
-			ShedLimit:     *shedLimit,
+			ShedHighWater: o.shedHigh,
+			ShedLimit:     o.shedLimit,
 		}
 	}
 	// -scenario gang wraps every scheduler core (each shard's, under
@@ -113,13 +239,13 @@ func main() {
 	// compress with task time so release and eviction both fire inside a
 	// short wall-clock run, and the attempt cap rises because each
 	// preemption charges the victim's normal attempt accounting.
-	gangScenario := *scenario == "gang"
+	gangScenario := o.scenario == "gang"
 	var gangCfg *gang.Config
 	maxAttempts := 4
 	if gangScenario {
 		gc := gang.DefaultConfig()
-		gc.HoldSec /= *compression
-		gc.PreemptSec /= *compression
+		gc.HoldSec /= o.compression
+		gc.PreemptSec /= o.compression
 		gangCfg = &gc
 		maxAttempts = 64
 	}
@@ -128,85 +254,85 @@ func main() {
 	// both speak the same wire protocol, so the fleet cannot tell.
 	var srv rmServer
 	var err error
-	if *shards > 1 {
+	if o.shards > 1 {
 		srv, err = rm.NewSharded("127.0.0.1:0", rm.ShardedConfig{
-			Shards:          *shards,
+			Shards:          o.shards,
 			NewScheduler:    func() tetris.Scheduler { return tetris.NewScheduler(schedCfg) },
 			NewEstimator:    tetris.NewEstimator,
-			NodeTimeout:     *nodeTimeout,
+			NodeTimeout:     o.nodeTimeout,
 			MaxTaskAttempts: maxAttempts,
 			Gang:            gangCfg,
 			Metrics:         reg,
-			Logger:          logger,
+			Logger:          o.logger,
 			Admission:       admCfg,
 		})
 	} else {
 		srv, err = rm.New("127.0.0.1:0", rm.Config{
 			Scheduler:       tetris.NewScheduler(schedCfg),
 			Estimator:       tetris.NewEstimator(),
-			NodeTimeout:     *nodeTimeout,
+			NodeTimeout:     o.nodeTimeout,
 			MaxTaskAttempts: maxAttempts,
 			Gang:            gangCfg,
 			Metrics:         reg,
-			Logger:          logger,
+			Logger:          o.logger,
 			Admission:       admCfg,
 		})
 	}
 	if err != nil {
-		log.Fatal(err)
+		return nil, 0, err
 	}
 	defer srv.Close()
-	fmt.Printf("tetris-hollow: RM on %s (%d shard(s)), %d hollow nodes, %d jobs, %v budget\n",
-		srv.Addr(), *shards, *nodes, *jobs, *duration)
+	fmt.Printf("tetris-hollow: RM on %s (%d shard(s)), %d hollow nodes, %d jobs, %v budget, %s codec, batch %d\n",
+		srv.Addr(), o.shards, o.nodes, o.jobs, o.duration, o.codec, o.batch)
 
 	var plan *faults.Plan
-	if *crashFrac > 0 {
+	if o.crashFrac > 0 {
 		plan = faults.Generate(faults.PlanConfig{
-			Seed:          *seed,
-			Machines:      *nodes,
-			Horizon:       duration.Seconds(),
-			CrashFraction: *crashFrac,
-			MeanDowntime:  duration.Seconds() / 6,
+			Seed:          o.seed,
+			Machines:      o.nodes,
+			Horizon:       o.duration.Seconds(),
+			CrashFraction: o.crashFrac,
+			MeanDowntime:  o.duration.Seconds() / 6,
 		})
 		fmt.Printf("tetris-hollow: fault plan injects %d crashes\n", plan.Crashes())
 	}
 
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer cancel()
-	runCtx, expire := context.WithTimeout(ctx, *duration)
+	runCtx, expire := context.WithTimeout(ctx, o.duration)
 	defer expire()
 
 	fleet, err := hollow.New(hollow.Config{
 		RMAddr:          srv.Addr(),
-		Nodes:           *nodes,
-		Conns:           *conns,
-		Heartbeat:       *heartbeat,
-		Compression:     *compression,
-		Seed:            *seed,
-		DeltaHeartbeats: *delta,
+		Nodes:           o.nodes,
+		Conns:           o.conns,
+		Heartbeat:       o.heartbeat,
+		Compression:     o.compression,
+		Seed:            o.seed,
+		DeltaHeartbeats: o.delta,
+		Codec:           o.codec,
+		Batch:           o.batch,
 		Plan:            plan,
-		Logger:          logger,
+		Logger:          o.logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return nil, 0, err
 	}
 
 	genCfg := trace.Config{
-		Seed:        *seed,
-		NumJobs:     *jobs,
-		NumMachines: *nodes,
+		Seed:        o.seed,
+		NumJobs:     o.jobs,
+		NumMachines: o.nodes,
 	}
 	var wl *tetris.Workload
 	if gangScenario {
-		wl = trace.GenerateGangMix(genCfg, *gangFrac)
+		wl = trace.GenerateGangMix(genCfg, o.gangFrac)
 	} else {
 		wl = trace.GenerateSuite(genCfg)
 	}
-	if *taskCap > 0 {
+	if o.taskCap > 0 {
 		for _, j := range wl.Jobs {
 			for _, st := range j.Stages {
-				if len(st.Tasks) > *taskCap {
-					st.Tasks = st.Tasks[:*taskCap]
+				if len(st.Tasks) > o.taskCap {
+					st.Tasks = st.Tasks[:o.taskCap]
 				}
 			}
 		}
@@ -222,18 +348,18 @@ func main() {
 
 	var stormRep hollow.StormReport
 	stormDone := make(chan struct{})
-	if *tenants > 0 {
+	if o.tenants > 0 {
 		go func() {
 			defer close(stormDone)
 			stormRep = hollow.RunStorm(runCtx, hollow.StormConfig{
 				RMAddr:    srv.Addr(),
-				Tenants:   *tenants,
-				Workers:   *stormWorkers,
-				Batch:     *stormBatch,
-				Rate:      *stormRate,
-				Seed:      *seed,
+				Tenants:   o.tenants,
+				Workers:   o.stormWorkers,
+				Batch:     o.stormBatch,
+				Rate:      o.stormRate,
+				Seed:      o.seed,
 				BaseJobID: 1 << 30, // disjoint from the trace workload's ids
-				Logger:    logger,
+				Logger:    o.logger,
 			})
 		}()
 	} else {
@@ -243,11 +369,12 @@ func main() {
 	amCfg := hollow.AMConfig{
 		RMAddr:    srv.Addr(),
 		Jobs:      wl.Jobs,
-		AMs:       *ams,
-		Poll:      *poll,
-		TimeScale: *compression,
-		Seed:      *seed,
-		Logger:    logger,
+		AMs:       o.ams,
+		Poll:      o.poll,
+		TimeScale: o.compression,
+		Seed:      o.seed,
+		Codec:     o.codec,
+		Logger:    o.logger,
 	}
 	if admCfg != nil {
 		amCfg.Tenant = "fleet"
@@ -267,8 +394,8 @@ func main() {
 	var rounds uint64
 	var roundSec, nmHandleSec float64
 	var nmHandleN uint64
-	if *shards > 1 {
-		for i := 0; i < *shards; i++ {
+	if o.shards > 1 {
+		for i := 0; i < o.shards; i++ {
 			label := strconv.Itoa(i)
 			rh := reg.Histogram(telemetry.Label("tetris_rm_schedule_round_seconds", "shard", label), "")
 			hh := reg.Histogram(telemetry.Label("tetris_rm_nm_heartbeat_seconds", "shard", label), "")
@@ -292,8 +419,8 @@ func main() {
 	var gangCommits, gangReleases, preempts uint64
 	var gangP50, gangP99 float64
 	if gangScenario {
-		if *shards > 1 {
-			for i := 0; i < *shards; i++ {
+		if o.shards > 1 {
+			for i := 0; i < o.shards; i++ {
 				label := strconv.Itoa(i)
 				gangCommits += reg.Counter(telemetry.Label("tetris_rm_gang_commits_total", "shard", label), "").Value()
 				gangReleases += reg.Counter(telemetry.Label("tetris_rm_gang_releases_total", "shard", label), "").Value()
@@ -318,25 +445,27 @@ func main() {
 	snap := &bench.Snapshot{
 		Schema:   bench.SchemaVersion,
 		Kind:     "hollow-scale",
-		Scenario: *scenario,
+		Scenario: o.scenario,
 		Unix:     time.Now().Unix(),
 		Config: map[string]string{
-			"nodes":       strconv.Itoa(*nodes),
-			"conns":       strconv.Itoa(resolvedConns(*conns, *nodes)),
-			"jobs":        strconv.Itoa(*jobs),
-			"heartbeat":   heartbeat.String(),
-			"poll":        poll.String(),
-			"compression": strconv.FormatFloat(*compression, 'g', -1, 64),
-			"seed":        strconv.FormatInt(*seed, 10),
-			"delta":       strconv.FormatBool(*delta),
-			"core":        *coreName,
-			"shards":      strconv.Itoa(*shards),
-			"crash_frac":  strconv.FormatFloat(*crashFrac, 'g', -1, 64),
-			"duration":    duration.String(),
+			"nodes":       strconv.Itoa(o.nodes),
+			"conns":       strconv.Itoa(resolvedConns(o.conns, o.nodes)),
+			"jobs":        strconv.Itoa(o.jobs),
+			"heartbeat":   o.heartbeat.String(),
+			"poll":        o.poll.String(),
+			"compression": strconv.FormatFloat(o.compression, 'g', -1, 64),
+			"seed":        strconv.FormatInt(o.seed, 10),
+			"delta":       strconv.FormatBool(o.delta),
+			"codec":       o.codec.String(),
+			"batch":       strconv.Itoa(o.batch),
+			"core":        o.coreName,
+			"shards":      strconv.Itoa(o.shards),
+			"crash_frac":  strconv.FormatFloat(o.crashFrac, 'g', -1, 64),
+			"duration":    o.duration.String(),
 		},
 		Metrics: map[string]float64{
 			"elapsed_seconds":                elapsed,
-			"nodes":                          float64(*nodes),
+			"nodes":                          float64(o.nodes),
 			"rounds_per_sec":                 float64(rounds) / elapsed,
 			"schedule_round_mean_seconds":    safeDiv(roundSec, float64(rounds)),
 			"heartbeat_p50_seconds":          fr.RTTp50,
@@ -345,11 +474,11 @@ func main() {
 			"beats_per_sec":                  float64(fr.Beats) / elapsed,
 			"delta_beats_total":              float64(fr.DeltaBeats),
 			"delta_beat_fraction":            safeDiv(float64(fr.DeltaBeats), float64(fr.Beats)),
-			"wire_bytes_per_node_per_sec":    float64(fr.BytesSent+fr.BytesRecv) / float64(*nodes) / elapsed,
+			"wire_bytes_per_node_per_sec":    float64(fr.BytesSent+fr.BytesRecv) / float64(o.nodes) / elapsed,
 			"process_cpu_seconds_per_sec":    cpuSec / elapsed,
-			"cpu_seconds_per_node_per_sec":   cpuSec / float64(*nodes) / elapsed,
+			"cpu_seconds_per_node_per_sec":   cpuSec / float64(o.nodes) / elapsed,
 			"rm_nm_heartbeat_handle_seconds": safeDiv(nmHandleSec, float64(nmHandleN)),
-			"shards":                         float64(*shards),
+			"shards":                         float64(o.shards),
 			"registers_total":                float64(fr.Registers),
 			"redials_total":                  float64(fr.Redials),
 			"crash_windows_total":            float64(fr.Crashes),
@@ -363,13 +492,13 @@ func main() {
 	for k, v := range perShard {
 		snap.Metrics[k] = v
 	}
-	if *tenants > 0 {
+	if o.tenants > 0 {
 		att := float64(stormRep.Attempts)
-		snap.Config["tenants"] = strconv.Itoa(*tenants)
-		snap.Config["storm_workers"] = strconv.Itoa(*stormWorkers)
-		snap.Config["storm_batch"] = strconv.Itoa(*stormBatch)
-		snap.Config["tenant_quota_jobs"] = strconv.Itoa(*quotaJobs)
-		snap.Config["shed_highwater"] = strconv.Itoa(*shedHigh)
+		snap.Config["tenants"] = strconv.Itoa(o.tenants)
+		snap.Config["storm_workers"] = strconv.Itoa(o.stormWorkers)
+		snap.Config["storm_batch"] = strconv.Itoa(o.stormBatch)
+		snap.Config["tenant_quota_jobs"] = strconv.Itoa(o.quotaJobs)
+		snap.Config["shed_highwater"] = strconv.Itoa(o.shedHigh)
 		snap.Metrics["admission_per_sec"] = safeDiv(float64(stormRep.Admitted+stormRep.Rejected), elapsed)
 		snap.Metrics["submit_p50_seconds"] = stormRep.SubmitP50
 		snap.Metrics["submit_p99_seconds"] = stormRep.SubmitP99
@@ -385,7 +514,7 @@ func main() {
 		snap.Metrics["fleet_throttled_total"] = float64(amRep.Throttled)
 	}
 	if gangScenario {
-		snap.Config["gang_fraction"] = strconv.FormatFloat(*gangFrac, 'g', -1, 64)
+		snap.Config["gang_fraction"] = strconv.FormatFloat(o.gangFrac, 'g', -1, 64)
 		snap.Metrics["gangs_admitted_total"] = float64(gangCommits)
 		snap.Metrics["gang_admit_p50_seconds"] = gangP50
 		snap.Metrics["gang_admit_p99_seconds"] = gangP99
@@ -398,17 +527,13 @@ func main() {
 		snap.Metrics["gang_release_rate"] = safeDiv(float64(gangReleases), float64(gangReleases+gangCommits))
 		snap.Metrics["tasks_preempted_total"] = float64(fr.TasksPreempted)
 	}
-	out := *outDir + "/BENCH_scale_" + *scenario + ".json"
-	if err := snap.WriteFile(out); err != nil {
-		log.Fatalf("tetris-hollow: %v", err)
-	}
 
 	fmt.Printf("tetris-hollow: %s in %.1fs — %d/%d jobs finished, %d tasks completed\n",
-		*scenario, elapsed, amRep.Finished, amRep.Submitted, fr.TasksCompleted)
+		o.scenario, elapsed, amRep.Finished, amRep.Submitted, fr.TasksCompleted)
 	fmt.Printf("  rounds/sec          %.1f (mean round %.3fms)\n",
 		float64(rounds)/elapsed, 1e3*safeDiv(roundSec, float64(rounds)))
-	if *shards > 1 {
-		for i := 0; i < *shards; i++ {
+	if o.shards > 1 {
+		for i := 0; i < o.shards; i++ {
 			label := strconv.Itoa(i)
 			fmt.Printf("  shard %-2s            %.1f rounds/sec, heartbeat p99 %.3fms\n",
 				label, perShard["shard"+label+"_rounds_per_sec"],
@@ -417,12 +542,12 @@ func main() {
 	}
 	fmt.Printf("  heartbeat RTT       p50 %.3fms  p99 %.3fms  (%d samples)\n",
 		fr.RTTp50*1e3, fr.RTTp99*1e3, fr.RTTSamples)
-	fmt.Printf("  wire bytes/node/sec %.0f (delta beats %.0f%%)\n",
-		float64(fr.BytesSent+fr.BytesRecv)/float64(*nodes)/elapsed,
-		100*safeDiv(float64(fr.DeltaBeats), float64(fr.Beats)))
+	fmt.Printf("  wire bytes/node/sec %.0f (delta beats %.0f%%, %s codec, batch %d)\n",
+		float64(fr.BytesSent+fr.BytesRecv)/float64(o.nodes)/elapsed,
+		100*safeDiv(float64(fr.DeltaBeats), float64(fr.Beats)), o.codec, o.batch)
 	fmt.Printf("  process CPU         %.2fs (%.4fms per node per sec)\n",
-		cpuSec, 1e3*cpuSec/float64(*nodes)/elapsed)
-	if *tenants > 0 {
+		cpuSec, 1e3*cpuSec/float64(o.nodes)/elapsed)
+	if o.tenants > 0 {
 		fmt.Printf("  admission           %.0f verdicts/sec — %d admitted, %d rejected (%d shed, %d rate-limited, %d quota)\n",
 			snap.Metrics["admission_per_sec"], stormRep.Admitted, stormRep.Rejected,
 			stormRep.Shed, stormRep.RateLimited, stormRep.Quota)
@@ -435,14 +560,11 @@ func main() {
 		fmt.Printf("  preemptions         %d decided (%.1f/sec), %d kills delivered to nodes\n",
 			preempts, float64(preempts)/elapsed, fr.TasksPreempted)
 	}
-	fmt.Printf("  snapshot            %s\n", out)
 	if err := srv.VerifyLedger(); err != nil {
-		log.Fatalf("tetris-hollow: ledger check failed: %v", err)
+		return nil, amRep.Failed, fmt.Errorf("ledger check failed: %v", err)
 	}
 	fmt.Println("  ledger              balanced")
-	if amRep.Failed > 0 {
-		os.Exit(1)
-	}
+	return snap, amRep.Failed, nil
 }
 
 // rmServer is the driver-facing surface shared by rm.Server and

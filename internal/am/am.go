@@ -37,6 +37,10 @@ type Config struct {
 	// consecutive reconnect attempts (the faults.Backoff max-elapsed
 	// cutoff). Zero means no time cap — only MaxReconnects applies.
 	ReconnectWindow time.Duration
+	// Codec selects the wire encoding for RM traffic: wire.CodecJSON
+	// (the default) speaks legacy v0 frames, wire.CodecBinary speaks v1
+	// binary frames for the hot poll path (DESIGN.md §15).
+	Codec wire.Codec
 	// Metrics receives the job manager's telemetry (poll RTTs, reconnect
 	// attempts, job outcomes); AMs sharing one registry aggregate. Nil
 	// records into a private registry, exposing nothing.
@@ -81,18 +85,19 @@ type Result struct {
 // rmConn is one TCP link to the RM whose reads unblock on ctx
 // cancellation.
 type rmConn struct {
-	conn net.Conn
-	stop func() bool
+	conn   net.Conn
+	framer *wire.Framer
+	stop   func() bool
 }
 
-func dialRM(ctx context.Context, addr string) (*rmConn, error) {
+func dialRM(ctx context.Context, addr string, codec wire.Codec) (*rmConn, error) {
 	d := net.Dialer{}
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
-	return &rmConn{conn: conn, stop: stop}, nil
+	return &rmConn{conn: conn, framer: wire.NewFramer(codec), stop: stop}, nil
 }
 
 func (c *rmConn) close() {
@@ -100,12 +105,13 @@ func (c *rmConn) close() {
 	c.conn.Close()
 }
 
-// call performs one request/reply exchange.
+// call performs one request/reply exchange. The reply may alias the
+// connection's framer scratch; it is valid until the next call.
 func (c *rmConn) call(m *wire.Message) (*wire.Message, error) {
-	if err := wire.Write(c.conn, m); err != nil {
+	if err := c.framer.Write(c.conn, m); err != nil {
 		return nil, err
 	}
-	return wire.Read(c.conn)
+	return c.framer.Read(c.conn)
 }
 
 // Run submits the job and blocks until it finishes or ctx is canceled.
@@ -130,7 +136,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	// should surface immediately. Transient admission rejections
 	// (rate-limit, quota, overload shed) are honored with jittered
 	// backoff and resubmitted; permanent rejections fail at once.
-	conn, err := dialRM(ctx, cfg.RMAddr)
+	conn, err := dialRM(ctx, cfg.RMAddr, cfg.Codec)
 	if err != nil {
 		return nil, fmt.Errorf("am: dial: %w", err)
 	}
@@ -237,7 +243,7 @@ func reconnect(ctx context.Context, cfg Config, bo *faults.Backoff, maxRetry int
 			return nil, ctx.Err()
 		case <-time.After(d):
 		}
-		c, err := dialRM(ctx, cfg.RMAddr)
+		c, err := dialRM(ctx, cfg.RMAddr, cfg.Codec)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()

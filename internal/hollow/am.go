@@ -32,6 +32,8 @@ type AMConfig struct {
 	// Tenant names the submitting principal stamped on every submission
 	// for the RM's admission gate. Empty means the anonymous tenant.
 	Tenant string
+	// Codec selects the wire encoding for RM traffic (DESIGN.md §15).
+	Codec wire.Codec
 	// Seed drives reconnect jitter (default 1).
 	Seed int64
 	// Logger for diagnostics; nil discards.
@@ -129,6 +131,7 @@ func RunAMs(ctx context.Context, cfg AMConfig) AMReport {
 func runAMWorker(ctx context.Context, cfg AMConfig, idx int, start time.Time, jobs []*amJob) AMReport {
 	var rep AMReport
 	bo := faults.NewBackoff(100*time.Millisecond, 5*time.Second, cfg.Seed+int64(idx)+1)
+	framer := wire.NewFramer(cfg.Codec)
 	var conn net.Conn
 	var unarm func() bool // releases the ctx-cancel deadline on the live conn
 	closeConn := func() {
@@ -173,8 +176,8 @@ func runAMWorker(ctx context.Context, cfg AMConfig, idx int, start time.Time, jo
 			if conn == nil && !redial() {
 				return nil, false
 			}
-			if err := wire.Write(conn, m); err == nil {
-				if reply, err := wire.Read(conn); err == nil {
+			if err := framer.Write(conn, m); err == nil {
+				if reply, err := framer.Read(conn); err == nil {
 					return reply, true
 				}
 			}

@@ -61,6 +61,17 @@ type Config struct {
 	// DeltaHeartbeats sends delta availability reports (wire.DeltaTracker)
 	// when a node's usage is unchanged since its last acked beat.
 	DeltaHeartbeats bool
+	// Codec selects the wire encoding for fleet traffic: wire.CodecJSON
+	// (the default) speaks legacy v0 frames, wire.CodecBinary speaks v1
+	// zero-copy binary frames (DESIGN.md §15). The RM replies in kind.
+	Codec wire.Codec
+	// Batch coalesces up to this many nodes' heartbeats into one
+	// TypeHeartbeatBatch frame per shared connection. Each node still
+	// beats once per Heartbeat — the tick stretches by the batch factor —
+	// and the reply carries one entry per beat, so per-node ack semantics
+	// (DeltaTracker baseline advance) are unchanged. 0 or 1 sends
+	// individual heartbeat frames, the pre-batching behavior.
+	Batch int
 	// Plan optionally injects node churn: MachineCrash/MachineRecover
 	// events (times in wall seconds from Run) silence a node past the
 	// RM's failure detector and then re-register it empty, exercising
@@ -119,6 +130,11 @@ type shard struct {
 	nodes  []*node
 	rng    *rand.Rand
 	cursor int
+
+	// Reused across batched ticks so steady-state batching does not
+	// allocate per frame.
+	batchBeats []wire.NMHeartbeat
+	batchNodes []*node
 }
 
 // Fleet is a hollow-node fleet. Create with New, drive with Run.
@@ -165,6 +181,9 @@ func New(cfg Config) (*Fleet, error) {
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
+	}
+	if cfg.Batch < 0 {
+		cfg.Batch = 0
 	}
 	if cfg.Capacity == (resources.Vector{}) {
 		cfg.Capacity = resources.New(16, 32, 200, 200, 1000, 1000)
@@ -318,7 +337,21 @@ func (sh *shard) session(ctx context.Context) (worked bool, err error) {
 	stop := context.AfterFunc(ctx, func() { raw.SetDeadline(time.Now()) })
 	defer stop()
 
-	per := sh.f.cfg.Heartbeat / time.Duration(len(sh.nodes))
+	// One framer per session owns the frame buffers and decode scratch,
+	// so steady-state beats allocate nothing on the fleet side either.
+	framer := wire.NewFramer(sh.f.cfg.Codec)
+
+	// Each tick advances batch-many nodes (one, unbatched), so every
+	// node still beats once per Heartbeat: the tick stretches by the
+	// batch factor instead of the frame rate multiplying.
+	batch := sh.f.cfg.Batch
+	if batch > len(sh.nodes) {
+		batch = len(sh.nodes)
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	per := sh.f.cfg.Heartbeat * time.Duration(batch) / time.Duration(len(sh.nodes))
 	if per < 50*time.Microsecond {
 		per = 50 * time.Microsecond
 	}
@@ -330,25 +363,26 @@ func (sh *shard) session(ctx context.Context) (worked bool, err error) {
 			return worked, ctx.Err()
 		case <-ticker.C:
 		}
-		n := sh.nodes[sh.cursor]
-		sh.cursor = (sh.cursor + 1) % len(sh.nodes)
-		if err := sh.beat(conn, n); err != nil {
-			return worked, err
+		if batch > 1 {
+			if err := sh.beatBatch(conn, framer, batch); err != nil {
+				return worked, err
+			}
+		} else {
+			n := sh.nodes[sh.cursor]
+			sh.cursor = (sh.cursor + 1) % len(sh.nodes)
+			if err := sh.beat(conn, framer, n); err != nil {
+				return worked, err
+			}
 		}
 		worked = true
 	}
 }
 
-// beat advances one node by one heartbeat slot: apply any planned crash
-// window, (re)register if needed, otherwise exchange one heartbeat.
-// Returns transport errors only; protocol-level rejections mark the
-// node for re-registration and continue.
-func (sh *shard) beat(conn net.Conn, n *node) error {
-	now := time.Now()
-	since := now.Sub(sh.f.start)
-	// Planned churn: inside a window the node is silent (the RM's
-	// detector will declare it dead); entering one loses all node state,
-	// like a machine power cycle.
+// churn applies any planned crash window to the node; true means the
+// node is silent this slot. Inside a window the node says nothing (the
+// RM's failure detector will declare it dead); entering one loses all
+// node state, like a machine power cycle.
+func (sh *shard) churn(n *node, since time.Duration) bool {
 	for len(n.windows) > 0 && since >= n.windows[0].to {
 		n.windows = n.windows[1:]
 		n.down = false
@@ -363,16 +397,18 @@ func (sh *shard) beat(conn net.Conn, n *node) error {
 			n.delta.Reset()
 			sh.f.crashes.Add(1)
 		}
-		return nil
+		return true
 	}
-	if !n.registered {
-		return sh.register(conn, n)
-	}
+	return false
+}
 
-	// Synthetic execution: tasks whose due time passed complete now, in
-	// deterministic ID order.
+// prepareBeat builds the node's next heartbeat: synthetic execution
+// drains due tasks in deterministic ID order, then the delta tracker
+// compresses the availability report when eligible. The returned beat's
+// Completed slice must be requeued if the exchange fails.
+func (sh *shard) prepareBeat(n *node, now time.Time) wire.NMHeartbeat {
 	n.drainDue(now, &sh.f.tasksCompleted)
-	hb := &wire.NMHeartbeat{
+	hb := wire.NMHeartbeat{
 		NodeID:    n.id,
 		Used:      n.used,
 		Allocated: n.used,
@@ -380,16 +416,53 @@ func (sh *shard) beat(conn net.Conn, n *node) error {
 	}
 	n.completed = nil
 	if sh.f.cfg.DeltaHeartbeats {
-		if full := n.delta.Mark(hb); !full {
+		if full := n.delta.Mark(&hb); !full {
 			sh.f.deltaBeats.Add(1)
 		}
 	}
+	return hb
+}
+
+// applyReply applies a successful heartbeat reply's instructions to the
+// node: delta ack, orphan kills, gang preemptions, launches.
+func (sh *shard) applyReply(n *node, r *wire.NMReply, now time.Time) {
+	if sh.f.cfg.DeltaHeartbeats {
+		n.delta.Ack(r)
+		if r != nil && r.FullReport {
+			sh.f.fullRequested.Add(1)
+		}
+	}
+	if r == nil {
+		return
+	}
+	n.handleKills(r.Kill, &sh.f.tasksKilled)
+	n.handlePreempts(r.Preempt, &sh.f.tasksPreempted)
+	for _, l := range r.Launch {
+		n.launch(l, now, sh.f.cfg.Compression)
+		sh.f.tasksLaunched.Add(1)
+	}
+}
+
+// beat advances one node by one heartbeat slot: apply any planned crash
+// window, (re)register if needed, otherwise exchange one heartbeat.
+// Returns transport errors only; protocol-level rejections mark the
+// node for re-registration and continue.
+func (sh *shard) beat(conn net.Conn, framer *wire.Framer, n *node) error {
+	now := time.Now()
+	if sh.churn(n, now.Sub(sh.f.start)) {
+		return nil
+	}
+	if !n.registered {
+		return sh.register(conn, framer, n)
+	}
+
+	hb := sh.prepareBeat(n, now)
 	t0 := time.Now()
-	if err := wire.Write(conn, &wire.Message{Type: wire.TypeNMHeartbeat, NMHeartbeat: hb}); err != nil {
+	if err := framer.Write(conn, &wire.Message{Type: wire.TypeNMHeartbeat, NMHeartbeat: &hb}); err != nil {
 		n.requeue(hb.Completed)
 		return err
 	}
-	reply, err := wire.Read(conn)
+	reply, err := framer.Read(conn)
 	if err != nil {
 		n.requeue(hb.Completed)
 		return err
@@ -404,26 +477,94 @@ func (sh *shard) beat(conn net.Conn, n *node) error {
 		n.delta.Reset()
 		return nil
 	}
-	if sh.f.cfg.DeltaHeartbeats {
-		n.delta.Ack(reply.NMReply)
-		if reply.NMReply != nil && reply.NMReply.FullReport {
-			sh.f.fullRequested.Add(1)
+	sh.applyReply(n, reply.NMReply, now)
+	return nil
+}
+
+// beatBatch advances the next batch-many nodes by one heartbeat slot,
+// coalescing their heartbeats into one TypeHeartbeatBatch frame. Nodes
+// in a churn window stay silent; unregistered nodes take their slot as
+// an individual registration frame (rare, and its reply must land
+// before the node can join a batch). The batch reply carries one entry
+// per beat in beat order — exactly what each node would have received
+// on its own connection — so per-node ack semantics are preserved.
+func (sh *shard) beatBatch(conn net.Conn, framer *wire.Framer, batch int) error {
+	now := time.Now()
+	since := now.Sub(sh.f.start)
+	beats := sh.batchBeats[:0]
+	members := sh.batchNodes[:0]
+	defer func() { sh.batchBeats, sh.batchNodes = beats[:0], members[:0] }()
+	for i := 0; i < batch; i++ {
+		n := sh.nodes[sh.cursor]
+		sh.cursor = (sh.cursor + 1) % len(sh.nodes)
+		if sh.churn(n, since) {
+			continue
+		}
+		if !n.registered {
+			if err := sh.register(conn, framer, n); err != nil {
+				return err
+			}
+			continue
+		}
+		beats = append(beats, sh.prepareBeat(n, now))
+		members = append(members, n)
+	}
+	if len(beats) == 0 {
+		return nil
+	}
+	requeueAll := func() {
+		for i, n := range members {
+			n.requeue(beats[i].Completed)
 		}
 	}
-	if r := reply.NMReply; r != nil {
-		n.handleKills(r.Kill, &sh.f.tasksKilled)
-		n.handlePreempts(r.Preempt, &sh.f.tasksPreempted)
-		for _, l := range r.Launch {
-			n.launch(l, now, sh.f.cfg.Compression)
-			sh.f.tasksLaunched.Add(1)
+	t0 := time.Now()
+	if err := framer.Write(conn, &wire.Message{Type: wire.TypeHeartbeatBatch,
+		HeartbeatBatch: &wire.HeartbeatBatch{Beats: beats}}); err != nil {
+		requeueAll()
+		return err
+	}
+	reply, err := framer.Read(conn)
+	if err != nil {
+		requeueAll()
+		return err
+	}
+	sh.f.rtt.observe(time.Since(t0).Seconds())
+	sh.f.beats.Add(uint64(len(beats)))
+	br := reply.HeartbeatBatchReply
+	if reply.Type != wire.TypeHeartbeatBatchReply || br == nil || len(br.Replies) != len(beats) {
+		// A peer that answers a batch with anything but a matching batch
+		// reply is not speaking the protocol; treat it like a broken
+		// transport and redial.
+		requeueAll()
+		got := 0
+		if br != nil {
+			got = len(br.Replies)
 		}
+		return fmt.Errorf("hollow: batch reply mismatch: type %q with %d entries for %d beats",
+			reply.Type, got, len(beats))
+	}
+	for i, n := range members {
+		e := &br.Replies[i]
+		if e.NodeID != n.id {
+			requeueAll()
+			return fmt.Errorf("hollow: batch reply entry %d is for node %d, want %d", i, e.NodeID, n.id)
+		}
+		if e.Error != "" {
+			// Per-node protocol rejection ("unregistered node"): only this
+			// node re-registers; the rest of the batch proceeds.
+			n.requeue(beats[i].Completed)
+			n.registered = false
+			n.delta.Reset()
+			continue
+		}
+		sh.applyReply(n, &e.Reply, now)
 	}
 	return nil
 }
 
 // register performs one registration exchange, carrying the node's
 // running set and buffered completions for resync reconciliation.
-func (sh *shard) register(conn net.Conn, n *node) error {
+func (sh *shard) register(conn net.Conn, framer *wire.Framer, n *node) error {
 	running := make([]workload.TaskID, 0, len(n.running))
 	for tid := range n.running {
 		running = append(running, tid)
@@ -431,13 +572,13 @@ func (sh *shard) register(conn net.Conn, n *node) error {
 	sort.Slice(running, func(i, j int) bool { return taskIDLess(running[i], running[j]) })
 	done := n.completed
 	n.completed = nil
-	if err := wire.Write(conn, &wire.Message{Type: wire.TypeRegisterNM, RegisterNM: &wire.RegisterNM{
+	if err := framer.Write(conn, &wire.Message{Type: wire.TypeRegisterNM, RegisterNM: &wire.RegisterNM{
 		NodeID: n.id, Capacity: n.capacity, Running: running, Completed: done,
 	}}); err != nil {
 		n.requeue(done)
 		return err
 	}
-	reply, err := wire.Read(conn)
+	reply, err := framer.Read(conn)
 	if err != nil {
 		n.requeue(done)
 		return err

@@ -9,6 +9,7 @@ import (
 	"github.com/tetris-sched/tetris/internal/resources"
 	"github.com/tetris-sched/tetris/internal/rm"
 	"github.com/tetris-sched/tetris/internal/scheduler"
+	"github.com/tetris-sched/tetris/internal/wire"
 	"github.com/tetris-sched/tetris/internal/workload"
 )
 
@@ -115,6 +116,105 @@ func TestHollowFleetEndToEnd(t *testing.T) {
 	}
 	if err := srv.VerifyLedger(); err != nil {
 		t.Errorf("ledger after hollow run: %v", err)
+	}
+}
+
+// TestHollowBinaryBatchedFleet runs the fleet in its scale
+// configuration — binary codec, batched heartbeats, delta reports —
+// against a real RM, with planned churn so batch replies carry
+// per-node "unregistered node" errors mid-run (the crashed nodes must
+// re-register through the batched path). Jobs still finish and the
+// ledger still balances, demonstrating batching changes framing only,
+// not semantics.
+func TestHollowBinaryBatchedFleet(t *testing.T) {
+	srv, err := rm.New("127.0.0.1:0", rm.Config{
+		Scheduler:   scheduler.NewTetris(scheduler.DefaultTetrisConfig()),
+		NodeTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	fleet, err := New(Config{
+		RMAddr:          srv.Addr(),
+		Nodes:           40,
+		Conns:           3,
+		Heartbeat:       25 * time.Millisecond,
+		Compression:     50,
+		Seed:            11,
+		DeltaHeartbeats: true,
+		Codec:           wire.CodecBinary,
+		Batch:           8,
+		Plan:            mkChurnPlan(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetCtx, stopFleet := context.WithCancel(ctx)
+	fleetDone := make(chan struct{})
+	go func() {
+		defer close(fleetDone)
+		fleet.Run(fleetCtx)
+	}()
+
+	jobs := []*workload.Job{
+		mkJob(1, 30, 2, 4, 20),
+		mkJob(2, 20, 4, 8, 30),
+		mkJob(3, 10, 1, 2, 10),
+	}
+	rep := RunAMs(ctx, AMConfig{
+		RMAddr:    srv.Addr(),
+		Jobs:      jobs,
+		AMs:       3,
+		Poll:      30 * time.Millisecond,
+		TimeScale: 50,
+		Seed:      11,
+		Codec:     wire.CodecBinary,
+	})
+	// Jobs can drain before the churn windows close; keep the fleet up
+	// until the crashed nodes have re-registered through the batched
+	// path and the RM sees the full fleet live again.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		fr := fleet.Report()
+		if fr.Crashes >= 2 && fr.Registers >= 42 && srv.LiveNodes() == 40 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("fleet did not reconverge: report %+v, live %d", fr, srv.LiveNodes())
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	stopFleet()
+	<-fleetDone
+
+	if rep.Finished != len(jobs) || rep.Failed != 0 {
+		t.Fatalf("AM pool: %d finished, %d failed, want %d finished (report %+v)",
+			rep.Finished, rep.Failed, len(jobs), rep)
+	}
+	fr := fleet.Report()
+	if fr.Registers < 42 {
+		t.Errorf("Registers = %d, want >= 42 (every node once + crashed nodes again)", fr.Registers)
+	}
+	if fr.Crashes < 2 {
+		t.Errorf("Crashes = %d, want >= 2 (planned windows entered)", fr.Crashes)
+	}
+	if fr.Beats == 0 || fr.RTTSamples == 0 {
+		t.Errorf("no heartbeats measured: %+v", fr)
+	}
+	if fr.DeltaBeats == 0 {
+		t.Errorf("delta heartbeats enabled but none compressed through batches: %+v", fr)
+	}
+	if fr.TasksCompleted < 60 {
+		t.Errorf("TasksCompleted = %d, want >= 60", fr.TasksCompleted)
+	}
+	if err := srv.VerifyLedger(); err != nil {
+		t.Errorf("ledger after binary batched run: %v", err)
 	}
 }
 

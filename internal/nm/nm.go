@@ -53,6 +53,11 @@ type Config struct {
 	// heartbeat frames. Full reports resume automatically on reconnect
 	// and whenever the RM requests one (NMReply.FullReport).
 	DeltaHeartbeats bool
+	// Codec selects the wire encoding for RM traffic: wire.CodecJSON
+	// (the default) speaks legacy v0 frames, wire.CodecBinary speaks v1
+	// zero-copy binary frames (DESIGN.md §15). The RM replies in kind,
+	// so mixed-codec fleets interoperate per connection.
+	Codec wire.Codec
 	// Metrics receives the node's telemetry (heartbeat RTTs, reconnect
 	// attempts, task lifecycle counters). Several NMs sharing one
 	// registry — the loopback cluster — aggregate into shared series.
@@ -218,6 +223,10 @@ func (n *Node) session(ctx context.Context) (registered bool, err error) {
 	// Unblock reads when the context is canceled.
 	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
 	defer stop()
+	// One framer per session owns the frame buffers and decode scratch,
+	// so steady-state heartbeats allocate nothing. Replies alias the
+	// scratch and are fully applied before the next read.
+	framer := wire.NewFramer(n.cfg.Codec)
 
 	// Registration carries the node's truth for resync reconciliation:
 	// what is running right now, plus completions buffered while
@@ -242,14 +251,14 @@ func (n *Node) session(ctx context.Context) (registered bool, err error) {
 		return a.Index < b.Index
 	})
 
-	if err := wire.Write(conn, &wire.Message{Type: wire.TypeRegisterNM, RegisterNM: &wire.RegisterNM{
+	if err := framer.Write(conn, &wire.Message{Type: wire.TypeRegisterNM, RegisterNM: &wire.RegisterNM{
 		NodeID: n.cfg.NodeID, Capacity: n.cfg.Capacity,
 		Running: runningIDs, Completed: done,
 	}}); err != nil {
 		n.requeue(done)
 		return false, fmt.Errorf("nm %d: register: %w", n.cfg.NodeID, err)
 	}
-	reply, err := wire.Read(conn)
+	reply, err := framer.Read(conn)
 	if err != nil {
 		n.requeue(done)
 		return false, fmt.Errorf("nm %d: register reply: %w", n.cfg.NodeID, err)
@@ -295,11 +304,11 @@ func (n *Node) session(ctx context.Context) (registered bool, err error) {
 			}
 		}
 		hbT0 := time.Now()
-		if err := wire.Write(conn, &wire.Message{Type: wire.TypeNMHeartbeat, NMHeartbeat: hb}); err != nil {
+		if err := framer.Write(conn, &wire.Message{Type: wire.TypeNMHeartbeat, NMHeartbeat: hb}); err != nil {
 			n.requeue(done)
 			return true, fmt.Errorf("nm %d: heartbeat: %w", n.cfg.NodeID, err)
 		}
-		reply, err := wire.Read(conn)
+		reply, err := framer.Read(conn)
 		if err != nil {
 			n.requeue(done)
 			return true, fmt.Errorf("nm %d: heartbeat reply: %w", n.cfg.NodeID, err)

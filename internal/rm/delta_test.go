@@ -33,6 +33,7 @@ type emuNode struct {
 	id      int
 	cap     resources.Vector
 	delta   bool
+	trip    *codecTrip // non-nil: frames round-trip through the binary codec
 	tracker wire.DeltaTracker
 	running map[workload.TaskID]wire.TaskLaunch
 	beatsIn map[workload.TaskID]int // beats left until completion
@@ -44,6 +45,35 @@ func newEmuNode(id int, capacity resources.Vector, delta bool) *emuNode {
 		running: make(map[workload.TaskID]wire.TaskLaunch),
 		beatsIn: make(map[workload.TaskID]int),
 	}
+}
+
+// codecTrip round-trips messages through the actual binary wire codec
+// (encode with a binary Framer, decode with another), yielding exactly
+// the struct an RM behind a real socket would see. Equivalence of the
+// resulting ledgers is the proof that the codec is a pure encoding: any
+// value it mangles shows up as a digest divergence.
+type codecTrip struct {
+	enc, dec *wire.Framer
+	buf      bytes.Buffer
+}
+
+func newCodecTrip() *codecTrip {
+	return &codecTrip{enc: wire.NewFramer(wire.CodecBinary), dec: wire.NewFramer(wire.CodecJSON)}
+}
+
+// roundTrip encodes and decodes m. The result aliases the decoding
+// Framer's scratch and is valid only until the next roundTrip.
+func (c *codecTrip) roundTrip(t *testing.T, m *wire.Message) *wire.Message {
+	t.Helper()
+	c.buf.Reset()
+	if err := c.enc.Write(&c.buf, m); err != nil {
+		t.Fatalf("codec round-trip write: %v", err)
+	}
+	out, err := c.dec.Read(&c.buf)
+	if err != nil {
+		t.Fatalf("codec round-trip read: %v", err)
+	}
+	return out
 }
 
 func (n *emuNode) sortedRunning() []workload.TaskID {
@@ -67,9 +97,10 @@ func (n *emuNode) usage() resources.Vector {
 	return u
 }
 
-// beat performs one heartbeat exchange against s and applies the reply.
-func (n *emuNode) beat(t *testing.T, s *Server) *wire.Message {
-	t.Helper()
+// prepareBeat computes the node's next heartbeat (completions due this
+// beat, usage, delta compression). The caller must deliver it and hand
+// the verdict to finishBeat.
+func (n *emuNode) prepareBeat() *wire.NMHeartbeat {
 	var done []wire.TaskCompletion
 	for _, tid := range n.sortedRunning() {
 		n.beatsIn[tid]--
@@ -85,7 +116,12 @@ func (n *emuNode) beat(t *testing.T, s *Server) *wire.Message {
 	if n.delta {
 		n.tracker.Mark(hb)
 	}
-	reply := s.HandleNMHeartbeat(hb)
+	return hb
+}
+
+// finishBeat acknowledges and applies one heartbeat's reply.
+func (n *emuNode) finishBeat(t *testing.T, reply *wire.Message) {
+	t.Helper()
 	if reply.Type == wire.TypeError {
 		t.Fatalf("node %d heartbeat rejected: %s", n.id, reply.Error)
 	}
@@ -93,6 +129,21 @@ func (n *emuNode) beat(t *testing.T, s *Server) *wire.Message {
 		n.tracker.Ack(reply.NMReply)
 	}
 	n.apply(reply.NMReply)
+}
+
+// beat performs one heartbeat exchange against s and applies the reply,
+// passing request and reply through the binary codec when configured.
+func (n *emuNode) beat(t *testing.T, s *Server) *wire.Message {
+	t.Helper()
+	hb := n.prepareBeat()
+	if n.trip != nil {
+		hb = n.trip.roundTrip(t, &wire.Message{Type: wire.TypeNMHeartbeat, NMHeartbeat: hb}).NMHeartbeat
+	}
+	reply := s.HandleNMHeartbeat(hb)
+	if n.trip != nil {
+		reply = n.trip.roundTrip(t, reply)
+	}
+	n.finishBeat(t, reply)
 	return reply
 }
 
@@ -101,9 +152,14 @@ func (n *emuNode) beat(t *testing.T, s *Server) *wire.Message {
 // session boundary does.
 func (n *emuNode) register(t *testing.T, s *Server) *wire.Message {
 	t.Helper()
-	reply := s.handleRegisterNM(&wire.RegisterNM{
-		NodeID: n.id, Capacity: n.cap, Running: n.sortedRunning(),
-	})
+	reg := &wire.RegisterNM{NodeID: n.id, Capacity: n.cap, Running: n.sortedRunning()}
+	if n.trip != nil {
+		reg = n.trip.roundTrip(t, &wire.Message{Type: wire.TypeRegisterNM, RegisterNM: reg}).RegisterNM
+	}
+	reply := s.handleRegisterNM(reg)
+	if n.trip != nil {
+		reply = n.trip.roundTrip(t, reply)
+	}
 	if reply.Type == wire.TypeError {
 		t.Fatalf("node %d registration rejected: %s", n.id, reply.Error)
 	}
@@ -197,22 +253,46 @@ func TestDeltaHeartbeatLedgerEquivalence(t *testing.T) {
 		t.Cleanup(func() { s.Close() })
 		return s
 	}
-	full, compressed := newSrv(), newSrv()
+	// Four RMs fed the same deterministic workload:
+	//   full    — full JSON-struct beats every round (the oracle),
+	//   compressed — DeltaTracker-compressed beats,
+	//   binary  — delta beats round-tripped through the binary codec,
+	//   batched — delta beats through the binary codec, coalesced into
+	//             one HeartbeatBatch frame per round.
+	// Bit-identical ledger digests across all four prove that delta
+	// compression, the binary encoding, and heartbeat batching are each
+	// pure wire optimizations.
+	full, compressed, binarySrv, batchedSrv := newSrv(), newSrv(), newSrv(), newSrv()
 
 	const nodes = 6
 	caps := make([]resources.Vector, nodes)
 	fullNodes := make([]*emuNode, nodes)
 	deltaNodes := make([]*emuNode, nodes)
+	binaryNodes := make([]*emuNode, nodes)
+	batchedNodes := make([]*emuNode, nodes)
+	batchTrip := newCodecTrip()
+	registerAll := func(i int) {
+		ra := fullNodes[i].register(t, full)
+		rb := deltaNodes[i].register(t, compressed)
+		rc := binaryNodes[i].register(t, binarySrv)
+		rd := batchedNodes[i].register(t, batchedSrv)
+		a := replyJSON(t, ra)
+		for mode, r := range map[string]*wire.Message{"delta": rb, "binary": rc, "batched": rd} {
+			if b := replyJSON(t, r); a != b {
+				t.Fatalf("register reply divergence at node %d (%s):\n full: %s\nother: %s", i, mode, a, b)
+			}
+		}
+	}
 	for i := 0; i < nodes; i++ {
 		// Heterogeneous capacities so packing decisions are non-trivial.
 		caps[i] = resources.New(16+float64(i%3)*8, 32+float64(i%2)*32, 200, 200, 1000, 1000)
 		fullNodes[i] = newEmuNode(i, caps[i], false)
 		deltaNodes[i] = newEmuNode(i, caps[i], true)
-		ra := fullNodes[i].register(t, full)
-		rb := deltaNodes[i].register(t, compressed)
-		if a, b := replyJSON(t, ra), replyJSON(t, rb); a != b {
-			t.Fatalf("register reply divergence at node %d:\n full: %s\ndelta: %s", i, a, b)
-		}
+		binaryNodes[i] = newEmuNode(i, caps[i], true)
+		binaryNodes[i].trip = newCodecTrip()
+		batchedNodes[i] = newEmuNode(i, caps[i], true)
+		batchedNodes[i].trip = batchTrip
+		registerAll(i)
 	}
 
 	// A seeded workload with diverse multi-resource demands; shrunk so
@@ -232,55 +312,95 @@ func TestDeltaHeartbeatLedgerEquivalence(t *testing.T) {
 		}
 	}
 
+	servers := map[string]*Server{
+		"full": full, "delta": compressed, "binary": binarySrv, "batched": batchedSrv,
+	}
 	deltaSent := 0
 	const rounds = 120
 	for r := 0; r < rounds; r++ {
 		// Staggered arrivals: one job every 4 rounds.
 		if r%4 == 0 && r/4 < len(wl.Jobs) {
-			submit(full, wl.Jobs[r/4])
-			submit(compressed, wl.Jobs[r/4])
+			for _, s := range servers {
+				submit(s, wl.Jobs[r/4])
+			}
 		}
 		// Mid-run link blip: node 2 re-registers with its running set,
 		// exercising resync reconciliation plus the delta baseline
 		// reset and the RM's FullReport request path.
 		if r == 37 || r == 73 {
-			ra := fullNodes[2].register(t, full)
-			rb := deltaNodes[2].register(t, compressed)
-			if a, b := replyJSON(t, ra), replyJSON(t, rb); a != b {
-				t.Fatalf("round %d re-register reply divergence:\n full: %s\ndelta: %s", r, a, b)
-			}
+			registerAll(2)
 		}
+		// The batched fleet gathers the whole round's beats before any is
+		// processed, like one shared connection's batch window would.
+		beats := make([]wire.NMHeartbeat, 0, nodes)
+		for i := 0; i < nodes; i++ {
+			beats = append(beats, *batchedNodes[i].prepareBeat())
+		}
+		batchMsg := batchTrip.roundTrip(t, &wire.Message{Type: wire.TypeHeartbeatBatch,
+			HeartbeatBatch: &wire.HeartbeatBatch{Beats: beats}})
+		batchReply := batchTrip.roundTrip(t, batchedSrv.HandleHeartbeatBatch(batchMsg.HeartbeatBatch))
+		entries := batchReply.HeartbeatBatchReply.Replies
+		if len(entries) != nodes {
+			t.Fatalf("round %d: batch reply has %d entries, want %d", r, len(entries), nodes)
+		}
+
 		for i := 0; i < nodes; i++ {
 			ra := fullNodes[i].beat(t, full)
 			rb := deltaNodes[i].beat(t, compressed)
-			if a, b := replyJSON(t, ra), replyJSON(t, rb); a != b {
-				t.Fatalf("round %d node %d reply divergence:\n full: %s\ndelta: %s", r, i, a, b)
+			rc := binaryNodes[i].beat(t, binarySrv)
+			// Reconstruct the per-node message the batch entry stands for:
+			// entry error ⇒ the typed error, else the node's NMReply.
+			e := entries[i]
+			if e.NodeID != fullNodes[i].id {
+				t.Fatalf("round %d: batch entry %d is for node %d", r, i, e.NodeID)
 			}
-		}
-		if da, db := ledgerDigest(full), ledgerDigest(compressed); !bytes.Equal(da, db) {
-			la, lb := bytes.Split(da, []byte("\n")), bytes.Split(db, []byte("\n"))
-			for i := 0; i < len(la) && i < len(lb); i++ {
-				if !bytes.Equal(la[i], lb[i]) {
-					t.Fatalf("round %d ledger divergence at line %d:\n full: %s\ndelta: %s", r, i, la[i], lb[i])
+			rd := &wire.Message{Type: wire.TypeNMReply, NMReply: &e.Reply}
+			if e.Error != "" {
+				rd = &wire.Message{Type: wire.TypeError, Error: e.Error}
+			}
+			batchedNodes[i].finishBeat(t, rd)
+			a := replyJSON(t, ra)
+			for mode, rr := range map[string]*wire.Message{"delta": rb, "binary": rc, "batched": rd} {
+				if b := replyJSON(t, rr); a != b {
+					t.Fatalf("round %d node %d reply divergence (%s):\n full: %s\nother: %s", r, i, mode, a, b)
 				}
 			}
-			t.Fatalf("round %d ledger divergence: %d vs %d lines", r, len(la), len(lb))
 		}
-		if err := full.VerifyLedger(); err != nil {
-			t.Fatalf("round %d full-mode ledger drift: %v", r, err)
+		da := ledgerDigest(full)
+		for mode, s := range servers {
+			if mode == "full" {
+				continue
+			}
+			if db := ledgerDigest(s); !bytes.Equal(da, db) {
+				la, lb := bytes.Split(da, []byte("\n")), bytes.Split(db, []byte("\n"))
+				for i := 0; i < len(la) && i < len(lb); i++ {
+					if !bytes.Equal(la[i], lb[i]) {
+						t.Fatalf("round %d ledger divergence (%s) at line %d:\n full: %s\nother: %s", r, mode, i, la[i], lb[i])
+					}
+				}
+				t.Fatalf("round %d ledger divergence (%s): %d vs %d lines", r, mode, len(la), len(lb))
+			}
 		}
-		if err := compressed.VerifyLedger(); err != nil {
-			t.Fatalf("round %d delta-mode ledger drift: %v", r, err)
+		for mode, s := range servers {
+			if err := s.VerifyLedger(); err != nil {
+				t.Fatalf("round %d %s-mode ledger drift: %v", r, mode, err)
+			}
 		}
 	}
 	deltaSent = int(compressed.metrics.deltaBeats.Value())
 	if deltaSent == 0 {
 		t.Fatal("delta mode never actually compressed a heartbeat — the test proved nothing")
 	}
+	if binaryDeltas := int(binarySrv.metrics.deltaBeats.Value()); binaryDeltas != deltaSent {
+		t.Fatalf("binary codec changed delta compression: %d beats vs %d", binaryDeltas, deltaSent)
+	}
+	if batchedDeltas := int(batchedSrv.metrics.deltaBeats.Value()); batchedDeltas != deltaSent {
+		t.Fatalf("batching changed delta compression: %d beats vs %d", batchedDeltas, deltaSent)
+	}
 	if fullSent := int(full.metrics.deltaBeats.Value()); fullSent != 0 {
 		t.Fatalf("full mode recorded %d delta beats", fullSent)
 	}
-	t.Logf("equivalent over %d rounds × %d nodes; %d/%d beats compressed",
+	t.Logf("equivalent over %d rounds × %d nodes × 4 codec/batch modes; %d/%d beats compressed",
 		rounds, nodes, deltaSent, rounds*nodes)
 }
 

@@ -367,12 +367,17 @@ func (s *Server) serve(conn net.Conn) {
 		delete(s.conns, conn)
 		s.connMu.Unlock()
 	}()
+	// One Framer per connection: codec negotiation is reply-in-kind
+	// (legacy JSON peers get legacy frames, binary peers get binary),
+	// and hot-frame decode reuses the Framer's scratch so steady-state
+	// heartbeats allocate nothing.
+	framer := wire.NewServerFramer()
 	for {
 		// Read/write deadlines: a stalled or half-dead peer times out and
 		// the connection drops — NMs/AMs recover through their redial and
 		// resync paths, and no handler goroutine is wedged forever.
 		armDeadline(conn, s.cfg.ConnTimeout)
-		m, err := wire.Read(conn)
+		m, err := framer.Read(conn)
 		if err != nil {
 			return // peer closed, stalled past the deadline, or protocol error
 		}
@@ -382,6 +387,8 @@ func (s *Server) serve(conn net.Conn) {
 			reply = s.handleRegisterNM(m.RegisterNM)
 		case wire.TypeNMHeartbeat:
 			reply = s.HandleNMHeartbeat(m.NMHeartbeat)
+		case wire.TypeHeartbeatBatch:
+			reply = s.HandleHeartbeatBatch(m.HeartbeatBatch)
 		case wire.TypeSubmitJob:
 			reply = s.handleSubmitJob(m.SubmitJob)
 		case wire.TypeSubmitBatch:
@@ -394,10 +401,33 @@ func (s *Server) serve(conn net.Conn) {
 			reply = &wire.Message{Type: wire.TypeError, Error: fmt.Sprintf("unknown message type %q", m.Type)}
 		}
 		armDeadline(conn, s.cfg.ConnTimeout)
-		if err := wire.Write(conn, reply); err != nil {
+		if err := framer.Write(conn, reply); err != nil {
 			return
 		}
 	}
+}
+
+// HandleHeartbeatBatch fans a multi-node heartbeat frame through the
+// per-node heartbeat path in beat order. Each entry carries exactly
+// what the node would have received on its own connection — an NMReply
+// or a typed error string — so DeltaTracker baseline-advance semantics
+// on the sender are unchanged by batching. Exported for benchmarks and
+// the hollow driver's in-process paths.
+func (s *Server) HandleHeartbeatBatch(b *wire.HeartbeatBatch) *wire.Message {
+	replies := make([]wire.NMBeatReply, 0, len(b.Beats))
+	for i := range b.Beats {
+		hb := &b.Beats[i]
+		entry := wire.NMBeatReply{NodeID: hb.NodeID}
+		switch r := s.HandleNMHeartbeat(hb); r.Type {
+		case wire.TypeError:
+			entry.Error = r.Error
+		default:
+			entry.Reply = *r.NMReply
+		}
+		replies = append(replies, entry)
+	}
+	return &wire.Message{Type: wire.TypeHeartbeatBatchReply,
+		HeartbeatBatchReply: &wire.HeartbeatBatchReply{Replies: replies}}
 }
 
 // armDeadline sets the connection's absolute I/O deadline d from now

@@ -297,9 +297,10 @@ func (g *Sharded) accept() {
 func (g *Sharded) serve(conn net.Conn) {
 	defer g.wg.Done()
 	defer conn.Close()
+	framer := wire.NewServerFramer()
 	for {
 		armDeadline(conn, g.cfg.ConnTimeout)
-		m, err := wire.Read(conn)
+		m, err := framer.Read(conn)
 		if err != nil {
 			return
 		}
@@ -313,6 +314,8 @@ func (g *Sharded) serve(conn net.Conn) {
 			}
 		case wire.TypeNMHeartbeat:
 			reply = g.HandleNMHeartbeat(m.NMHeartbeat)
+		case wire.TypeHeartbeatBatch:
+			reply = g.HandleHeartbeatBatch(m.HeartbeatBatch)
 		case wire.TypeSubmitJob:
 			reply = g.handleSubmitJob(m.SubmitJob)
 		case wire.TypeSubmitBatch:
@@ -326,10 +329,63 @@ func (g *Sharded) serve(conn net.Conn) {
 			reply = &wire.Message{Type: wire.TypeError, Error: fmt.Sprintf("unknown message type %q", m.Type)}
 		}
 		armDeadline(conn, g.cfg.ConnTimeout)
-		if err := wire.Write(conn, reply); err != nil {
+		if err := framer.Write(conn, reply); err != nil {
 			return
 		}
 	}
+}
+
+// shardIndex is nodeShard as an index (nodeID mod N, non-negative).
+func (g *Sharded) shardIndex(nodeID int) int {
+	i := nodeID % len(g.shards)
+	if i < 0 {
+		i += len(g.shards)
+	}
+	return i
+}
+
+// HandleHeartbeatBatch splits a multi-node heartbeat frame by owning
+// shard and fans the groups out concurrently: each shard core absorbs
+// its nodes' beats (and runs its scheduling rounds) in parallel with
+// the other shards, which is what makes one shared connection carrying
+// thousands of nodes scale past a single core. Entries are reassembled
+// in beat order with the exact per-node verdict an individual
+// connection would have produced, so sender-side DeltaTracker
+// semantics are unchanged.
+func (g *Sharded) HandleHeartbeatBatch(b *wire.HeartbeatBatch) *wire.Message {
+	entries := make([]wire.NMBeatReply, len(b.Beats))
+	apply := func(s *Server, idxs []int) {
+		for _, i := range idxs {
+			hb := &b.Beats[i]
+			e := wire.NMBeatReply{NodeID: hb.NodeID}
+			switch r := s.HandleNMHeartbeat(hb); r.Type {
+			case wire.TypeError:
+				e.Error = r.Error
+			default:
+				e.Reply = *r.NMReply
+			}
+			entries[i] = e
+		}
+	}
+	groups := make([][]int, len(g.shards))
+	for i := range b.Beats {
+		si := g.shardIndex(b.Beats[i].NodeID)
+		groups[si] = append(groups[si], i)
+	}
+	var wg sync.WaitGroup
+	for si, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s *Server, idxs []int) {
+			defer wg.Done()
+			apply(s, idxs)
+		}(g.shards[si], idxs)
+	}
+	wg.Wait()
+	return &wire.Message{Type: wire.TypeHeartbeatBatchReply,
+		HeartbeatBatchReply: &wire.HeartbeatBatchReply{Replies: entries}}
 }
 
 // HandleNMHeartbeat dispatches a node heartbeat to the node's shard,

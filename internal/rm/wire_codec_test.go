@@ -1,0 +1,328 @@
+package rm
+
+// Wire-level tests of the binary codec and heartbeat batching against
+// live RMs: mixed-codec sessions (one v0 JSON peer, one v1 binary peer
+// on the same server), reply-in-kind negotiation observed on the raw
+// socket, and batch fan-out semantics on both the flat and the sharded
+// server.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"github.com/tetris-sched/tetris/internal/estimator"
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/scheduler"
+	"github.com/tetris-sched/tetris/internal/wire"
+)
+
+func dialRM(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// TestMixedCodecSessions runs a legacy v0 JSON peer and a v1 binary
+// peer against one live RM concurrently-registered: both register,
+// heartbeat, and see equivalent verdicts; the server answers each in
+// its own format.
+func TestMixedCodecSessions(t *testing.T) {
+	s := newServer(t)
+	capV := resources.New(16, 32, 200, 200, 1000, 1000)
+
+	// Legacy peer: bare wire.Write/Read, node 0.
+	legacy := dialRM(t, s.Addr())
+	if err := wire.Write(legacy, &wire.Message{Type: wire.TypeRegisterNM,
+		RegisterNM: &wire.RegisterNM{NodeID: 0, Capacity: capV}}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := wire.Read(legacy); err != nil || m.NMReply == nil {
+		t.Fatalf("legacy register reply: m=%+v err=%v", m, err)
+	}
+
+	// Binary peer: Framer with CodecBinary, node 1.
+	binPeer := dialRM(t, s.Addr())
+	f := wire.NewFramer(wire.CodecBinary)
+	if err := f.Write(binPeer, &wire.Message{Type: wire.TypeRegisterNM,
+		RegisterNM: &wire.RegisterNM{NodeID: 1, Capacity: capV}}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := f.Read(binPeer); err != nil || m.NMReply == nil {
+		t.Fatalf("binary register reply: m=%+v err=%v", m, err)
+	}
+
+	// Interleaved heartbeats on both sessions.
+	for round := 0; round < 5; round++ {
+		if err := wire.Write(legacy, &wire.Message{Type: wire.TypeNMHeartbeat,
+			NMHeartbeat: &wire.NMHeartbeat{NodeID: 0, Used: capV.Scale(0.1), Allocated: capV.Scale(0.1)}}); err != nil {
+			t.Fatal(err)
+		}
+		if m, err := wire.Read(legacy); err != nil || m.NMReply == nil {
+			t.Fatalf("legacy beat %d: m=%+v err=%v", round, m, err)
+		}
+		if err := f.Write(binPeer, &wire.Message{Type: wire.TypeNMHeartbeat,
+			NMHeartbeat: &wire.NMHeartbeat{NodeID: 1, Used: capV.Scale(0.2), Allocated: capV.Scale(0.2)}}); err != nil {
+			t.Fatal(err)
+		}
+		if m, err := f.Read(binPeer); err != nil || m.NMReply == nil {
+			t.Fatalf("binary beat %d: m=%+v err=%v", round, m, err)
+		}
+	}
+
+	// An unregistered node's beat draws the same typed error through
+	// both codecs.
+	if err := wire.Write(legacy, &wire.Message{Type: wire.TypeNMHeartbeat,
+		NMHeartbeat: &wire.NMHeartbeat{NodeID: 77}}); err != nil {
+		t.Fatal(err)
+	}
+	ml, err := wire.Read(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write(binPeer, &wire.Message{Type: wire.TypeNMHeartbeat,
+		NMHeartbeat: &wire.NMHeartbeat{NodeID: 77}}); err != nil {
+		t.Fatal(err)
+	}
+	mb, err := f.Read(binPeer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.Type != wire.TypeError || mb.Type != wire.TypeError || ml.Error != mb.Error {
+		t.Fatalf("error divergence across codecs: legacy=%+v binary=%+v", ml, mb)
+	}
+	if !strings.Contains(mb.Error, "unregistered node 77") {
+		t.Fatalf("unexpected error text: %q", mb.Error)
+	}
+}
+
+// TestReplyInKindOnTheSocket inspects raw reply bytes: a legacy request
+// draws a bare length-prefixed frame (first byte ≤ 0x04 given
+// MaxFrame), a binary request draws a magic-prefixed binary frame, on
+// the same connection back to back.
+func TestReplyInKindOnTheSocket(t *testing.T) {
+	s := newServer(t)
+	s.RegisterMachine(4, resources.New(16, 32, 200, 200, 1000, 1000))
+	conn := dialRM(t, s.Addr())
+
+	beat := &wire.Message{Type: wire.TypeNMHeartbeat, NMHeartbeat: &wire.NMHeartbeat{NodeID: 4}}
+
+	readRaw := func() []byte {
+		t.Helper()
+		var hdr [4]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			t.Fatal(err)
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		extra := 0
+		if hdr[0] == wire.Magic {
+			var rest [2]byte
+			if _, err := io.ReadFull(conn, rest[:]); err != nil {
+				t.Fatal(err)
+			}
+			n = binary.BigEndian.Uint32([]byte{hdr[2], hdr[3], rest[0], rest[1]})
+			extra = 2
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			t.Fatal(err)
+		}
+		_ = extra
+		return append(hdr[:], body...)
+	}
+
+	// Legacy request → legacy reply.
+	if err := wire.Write(conn, beat); err != nil {
+		t.Fatal(err)
+	}
+	if raw := readRaw(); raw[0] == wire.Magic {
+		t.Fatalf("reply to a legacy frame started with the magic byte: % x", raw[:4])
+	}
+
+	// Binary request on the same connection → magic + binary reply.
+	f := wire.NewFramer(wire.CodecBinary)
+	if err := f.Write(conn, beat); err != nil {
+		t.Fatal(err)
+	}
+	if raw := readRaw(); raw[0] != wire.Magic || raw[1] != byte(wire.CodecBinary) {
+		t.Fatalf("reply to a binary frame = % x, want magic+binary", raw[:4])
+	}
+}
+
+// TestHeartbeatBatchFlat pins batch fan-out semantics on the flat
+// server: per-node verdicts in beat order, including a typed error
+// entry for an unregistered node, with ack semantics identical to
+// individual beats.
+func TestHeartbeatBatchFlat(t *testing.T) {
+	s := newServer(t)
+	capV := resources.New(16, 32, 200, 200, 1000, 1000)
+	s.RegisterMachine(0, capV)
+	s.RegisterMachine(1, capV)
+	if err := s.SubmitJob(simpleJob(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+
+	reply := s.HandleHeartbeatBatch(&wire.HeartbeatBatch{Beats: []wire.NMHeartbeat{
+		{NodeID: 0, Used: resources.Vector{}, Allocated: resources.Vector{}},
+		{NodeID: 99}, // never registered: per-node error, not a dropped batch
+		{NodeID: 1},
+	}})
+	if reply.Type != wire.TypeHeartbeatBatchReply {
+		t.Fatalf("reply type = %s", reply.Type)
+	}
+	entries := reply.HeartbeatBatchReply.Replies
+	if len(entries) != 3 {
+		t.Fatalf("%d entries, want 3", len(entries))
+	}
+	if entries[0].NodeID != 0 || entries[1].NodeID != 99 || entries[2].NodeID != 1 {
+		t.Fatalf("entry order mangled: %+v", entries)
+	}
+	if entries[1].Error == "" || !strings.Contains(entries[1].Error, "unregistered node 99") {
+		t.Fatalf("entry for unknown node: %+v", entries[1])
+	}
+	if entries[0].Error != "" || entries[2].Error != "" {
+		t.Fatalf("registered nodes drew errors: %+v", entries)
+	}
+	// The job's tasks must have been launched across the two live beats
+	// exactly as individual heartbeats would have.
+	launched := len(entries[0].Reply.Launch) + len(entries[2].Reply.Launch)
+	if launched == 0 {
+		t.Fatal("batch beats produced no launches for a submitted job")
+	}
+	if err := s.VerifyLedger(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeartbeatBatchSharded drives one batch spanning every shard over
+// a real socket in binary framing: the top layer fans groups out to
+// per-shard cores concurrently and reassembles entries in beat order.
+func TestHeartbeatBatchSharded(t *testing.T) {
+	g, err := NewSharded("127.0.0.1:0", ShardedConfig{
+		Shards:       4,
+		NewScheduler: func() scheduler.Scheduler { return scheduler.NewTetris(scheduler.DefaultTetrisConfig()) },
+		NewEstimator: estimator.New,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+
+	capV := resources.New(16, 32, 200, 200, 1000, 1000)
+	const nodes = 16
+	conn := dialRM(t, g.Addr())
+	f := wire.NewFramer(wire.CodecBinary)
+	for id := 0; id < nodes; id++ {
+		if err := f.Write(conn, &wire.Message{Type: wire.TypeRegisterNM,
+			RegisterNM: &wire.RegisterNM{NodeID: id, Capacity: capV}}); err != nil {
+			t.Fatal(err)
+		}
+		if m, err := f.Read(conn); err != nil || m.NMReply == nil {
+			t.Fatalf("register %d: m=%+v err=%v", id, m, err)
+		}
+	}
+	if err := g.SubmitJob(simpleJob(1, 8)); err != nil {
+		t.Fatal(err)
+	}
+
+	var beats []wire.NMHeartbeat
+	for id := 0; id < nodes; id++ {
+		beats = append(beats, wire.NMHeartbeat{NodeID: id})
+	}
+	beats = append(beats, wire.NMHeartbeat{NodeID: 1000}) // unknown, shard 0
+	if err := f.Write(conn, &wire.Message{Type: wire.TypeHeartbeatBatch,
+		HeartbeatBatch: &wire.HeartbeatBatch{Beats: beats}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.Read(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != wire.TypeHeartbeatBatchReply {
+		t.Fatalf("reply type = %s (%s)", m.Type, m.Error)
+	}
+	entries := m.HeartbeatBatchReply.Replies
+	if len(entries) != nodes+1 {
+		t.Fatalf("%d entries, want %d", len(entries), nodes+1)
+	}
+	launches := 0
+	for i, e := range entries {
+		if i < nodes {
+			if e.NodeID != i || e.Error != "" {
+				t.Fatalf("entry %d: %+v", i, e)
+			}
+			launches += len(e.Reply.Launch)
+		} else if e.NodeID != 1000 || e.Error == "" {
+			t.Fatalf("unknown-node entry: %+v", e)
+		}
+	}
+	if launches == 0 {
+		t.Fatal("no launches across a 16-node batch with a queued job")
+	}
+	if err := g.VerifyLedger(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second batch of delta beats — baselines advanced via the batch
+	// acks — must be accepted with no FullReport demands.
+	var deltas []wire.NMHeartbeat
+	trackers := make([]wire.DeltaTracker, nodes)
+	for id := 0; id < nodes; id++ {
+		// Establish baselines: the first batch carried full (zero) usage
+		// reports, acked by the entries above.
+		trackers[id].Mark(&wire.NMHeartbeat{NodeID: id})
+		trackers[id].Ack(&entries[id].Reply)
+		hb := wire.NMHeartbeat{NodeID: id}
+		trackers[id].Mark(&hb)
+		if !hb.Delta {
+			t.Fatalf("node %d beat not compressed after acked baseline", id)
+		}
+		deltas = append(deltas, hb)
+	}
+	if err := f.Write(conn, &wire.Message{Type: wire.TypeHeartbeatBatch,
+		HeartbeatBatch: &wire.HeartbeatBatch{Beats: deltas}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err = f.Read(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range m.HeartbeatBatchReply.Replies {
+		if e.Error != "" {
+			t.Fatalf("delta beat rejected: %+v", e)
+		}
+	}
+}
+
+// TestBatchBinaryOverheadSmaller sanity-checks the wire-size win the
+// scale bench gates on: a 64-node delta-beat batch in binary framing
+// is a small fraction of 64 individual JSON heartbeat frames.
+func TestBatchBinaryOverheadSmaller(t *testing.T) {
+	var jsonBytes, binBytes bytes.Buffer
+	var beats []wire.NMHeartbeat
+	for id := 0; id < 64; id++ {
+		hb := wire.NMHeartbeat{NodeID: id, Delta: true}
+		beats = append(beats, hb)
+		if err := wire.Write(&jsonBytes, &wire.Message{Type: wire.TypeNMHeartbeat, NMHeartbeat: &hb}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := wire.NewFramer(wire.CodecBinary)
+	if err := f.Write(&binBytes, &wire.Message{Type: wire.TypeHeartbeatBatch,
+		HeartbeatBatch: &wire.HeartbeatBatch{Beats: beats}}); err != nil {
+		t.Fatal(err)
+	}
+	if binBytes.Len()*2 > jsonBytes.Len() {
+		t.Fatalf("binary batch %dB vs %dB individual JSON: less than the 2x the gates assume",
+			binBytes.Len(), jsonBytes.Len())
+	}
+	t.Logf("64 delta beats: %dB individual JSON → %dB batched binary (%.1fx)",
+		jsonBytes.Len(), binBytes.Len(), float64(jsonBytes.Len())/float64(binBytes.Len()))
+}

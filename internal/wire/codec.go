@@ -1,0 +1,207 @@
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Frame formats. The legacy v0 frame is a bare 4-byte big-endian
+// length followed by a JSON body. The v1 frame prepends a 2-byte
+// preamble: Magic, then a codec byte, then the same 4-byte length and
+// payload. Because MaxFrame is 64 MiB (0x04000000), the first byte of
+// any legal v0 header is at most 0x04, so a reader can tell the two
+// apart from the first byte alone — negotiation is per-frame and
+// stateless on the read side.
+//
+// Codec negotiation is reply-in-kind: a server Framer answers each
+// request in the format the request arrived in (legacy peers get
+// legacy frames, binary peers get binary), so v0 clients interoperate
+// with a v1 server with no handshake round-trip.
+const (
+	// Magic is the first byte of a v1 frame header.
+	Magic byte = 0xB7
+)
+
+// Codec identifies a v1 payload encoding.
+type Codec byte
+
+const (
+	// CodecJSON is codec 0: the payload is the Message's JSON encoding,
+	// identical to a v0 body. It remains the compatibility and fuzz
+	// oracle encoding.
+	CodecJSON Codec = 0
+	// CodecBinary is codec 1: the payload is the hand-rolled binary
+	// encoding (see binary.go). Types without a binary encoding fall
+	// back to CodecJSON frames transparently.
+	CodecBinary Codec = 1
+)
+
+func (c Codec) String() string {
+	switch c {
+	case CodecJSON:
+		return "json"
+	case CodecBinary:
+		return "binary"
+	}
+	return fmt.Sprintf("codec-%d", byte(c))
+}
+
+// ParseCodec maps flag values ("json", "binary") to a Codec.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "json", "":
+		return CodecJSON, nil
+	case "binary":
+		return CodecBinary, nil
+	}
+	return 0, fmt.Errorf("wire: unknown codec %q (want json or binary)", s)
+}
+
+// frameFormat is the on-the-wire shape of one frame.
+type frameFormat uint8
+
+const (
+	fmtLegacy   frameFormat = iota // v0: bare length + JSON
+	fmtV1JSON                      // magic + codec 0 + length + JSON
+	fmtV1Binary                    // magic + codec 1 + length + binary
+)
+
+// Framer reads and writes frames on one connection, owning the
+// buffers and decode scratch so steady-state heartbeat exchanges
+// allocate nothing. Not safe for concurrent use; each connection's
+// serve loop owns one Framer.
+//
+// A client Framer (NewFramer) writes its configured codec: CodecJSON
+// writes legacy v0 frames (byte-compatible with old servers),
+// CodecBinary writes v1 binary frames, falling back to v1 JSON frames
+// for types without a binary encoding. A server Framer
+// (NewServerFramer) replies in kind: each Write uses the format of the
+// most recently read frame, so legacy peers never see a magic byte
+// their reader would misparse as an oversize length.
+//
+// Messages returned by Read alias the Framer's internal scratch and
+// are valid only until the next Read on the same Framer. Handlers that
+// retain payload slices past the exchange (registration journaling)
+// get freshly allocated payloads — see decodeBinary.
+type Framer struct {
+	codec     Codec
+	autoReply bool
+	lastRead  frameFormat
+
+	hdr     [6]byte
+	rbuf    []byte
+	wbuf    []byte
+	scratch decodeScratch
+}
+
+// NewFramer returns a client Framer writing the given codec.
+func NewFramer(c Codec) *Framer { return &Framer{codec: c} }
+
+// NewServerFramer returns a reply-in-kind server Framer. Before the
+// first read it writes legacy frames — the only format every peer can
+// read.
+func NewServerFramer() *Framer { return &Framer{autoReply: true, lastRead: fmtLegacy} }
+
+// Read reads one frame of either format, auto-detected per frame.
+// The returned Message satisfies the envelope invariant and is valid
+// only until the next Read on this Framer.
+func (f *Framer) Read(r io.Reader) (*Message, error) {
+	hdr := f.hdr[:] // lives in the Framer so per-read header reads do not allocate
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return nil, err
+	}
+	var n uint32
+	format := fmtLegacy
+	if hdr[0] == Magic {
+		switch Codec(hdr[1]) {
+		case CodecJSON:
+			format = fmtV1JSON
+		case CodecBinary:
+			format = fmtV1Binary
+		default:
+			return nil, fmt.Errorf("wire: unknown codec byte 0x%02x", hdr[1])
+		}
+		if _, err := io.ReadFull(r, hdr[4:6]); err != nil {
+			return nil, err
+		}
+		n = binary.BigEndian.Uint32(hdr[2:6])
+	} else {
+		n = binary.BigEndian.Uint32(hdr[:4])
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: header announces %d bytes", ErrFrameTooLarge, n)
+	}
+	body, err := readBody(r, f.rbuf, int(n))
+	f.rbuf = body[:0]
+	if err != nil {
+		return nil, err
+	}
+	f.lastRead = format
+	if format == fmtV1Binary {
+		return decodeBinary(body, &f.scratch)
+	}
+	// JSON payloads decode into fresh allocations: the cold control
+	// types that travel as JSON (submissions, status) are exactly the
+	// ones handlers retain past the exchange.
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Write frames and writes one message as a single Write call (see
+// Write's partial-frame rationale).
+func (f *Framer) Write(w io.Writer, m *Message) error {
+	format := fmtLegacy
+	if f.autoReply {
+		format = f.lastRead
+	} else if f.codec == CodecBinary {
+		format = fmtV1Binary
+	}
+
+	buf := f.wbuf[:0]
+	if format == fmtV1Binary {
+		buf = append(buf, Magic, byte(CodecBinary), 0, 0, 0, 0)
+		body, ok := appendBinary(buf, m)
+		if ok {
+			buf = body
+		} else {
+			// No binary encoding for this type: fall back to a v1 JSON
+			// frame. The peer auto-detects per frame.
+			format = fmtV1JSON
+			buf = buf[:0]
+		}
+	}
+	if format != fmtV1Binary {
+		body, err := json.Marshal(m)
+		if err != nil {
+			return fmt.Errorf("wire: marshal: %w", err)
+		}
+		if format == fmtV1JSON {
+			buf = append(buf, Magic, byte(CodecJSON), 0, 0, 0, 0)
+		} else {
+			buf = append(buf, 0, 0, 0, 0)
+		}
+		buf = append(buf, body...)
+	}
+
+	hdrLen := 4
+	if format != fmtLegacy {
+		hdrLen = 6
+	}
+	payload := len(buf) - hdrLen
+	if payload > MaxFrame {
+		f.wbuf = buf[:0]
+		return fmt.Errorf("%w: encoded message is %d bytes", ErrFrameTooLarge, payload)
+	}
+	binary.BigEndian.PutUint32(buf[hdrLen-4:], uint32(payload))
+	_, err := w.Write(buf)
+	f.wbuf = buf[:0]
+	return err
+}

@@ -1,0 +1,473 @@
+package wire
+
+import (
+	"bytes"
+	binenc "encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tetris-sched/tetris/internal/faults"
+	"github.com/tetris-sched/tetris/internal/resources"
+	"github.com/tetris-sched/tetris/internal/workload"
+)
+
+// codecCorpus covers every message type, hot (binary-encoded) and cold
+// (JSON fallback), with edge values: negative IDs, large varints,
+// delta beats, empty and multi-element slices, per-node batch errors.
+func codecCorpus() []*Message {
+	return []*Message{
+		{Type: TypeError, Error: "node 7 must re-register"},
+		{Type: TypeRegisterNM, RegisterNM: &RegisterNM{
+			NodeID:   3,
+			Capacity: resources.New(16, 32, 200, 200, 1000, 1000),
+			Running:  []workload.TaskID{{Job: 1, Stage: 0, Index: 2}, {Job: 1 << 40, Stage: -1, Index: 0}},
+			Completed: []TaskCompletion{
+				{Task: workload.TaskID{Job: 9, Stage: 2, Index: 1}, Usage: resources.New(1, 1, 0, 0, 0, 0), Duration: 0.25},
+			},
+		}},
+		{Type: TypeNMHeartbeat, NMHeartbeat: &NMHeartbeat{
+			NodeID:    3,
+			Used:      resources.New(1, 2, 0, 0, 0, 0),
+			Allocated: resources.New(4, 8, 0, 0, 100, 0),
+			Completed: []TaskCompletion{
+				{Task: workload.TaskID{Job: 1, Stage: 0, Index: 2}, Usage: resources.New(1, 1, 0, 0, 0, 0), Duration: 12.5},
+				{Task: workload.TaskID{Job: 2, Stage: 1, Index: 0}, Duration: 0.001},
+			},
+		}},
+		{Type: TypeNMHeartbeat, NMHeartbeat: &NMHeartbeat{NodeID: 99999, Delta: true}},
+		{Type: TypeNMReply, NMReply: &NMReply{
+			Launch: []TaskLaunch{{
+				Task: workload.TaskID{Job: 1, Stage: 0, Index: 5}, JobID: 1,
+				Demand: resources.New(2, 4, 10, 10, 0, 0), Duration: 30, ReadMB: 100, WriteMB: 50,
+			}},
+			Kill:       []workload.TaskID{{Job: 4, Stage: 1, Index: 7}},
+			Preempt:    []TaskPreempt{{Task: workload.TaskID{Job: 5, Stage: 0, Index: 0}, JobID: 5, ForJob: 11}},
+			FullReport: true,
+		}},
+		{Type: TypeNMReply, NMReply: &NMReply{}},
+		{Type: TypeAMHeartbeat, AMHeartbeat: &AMHeartbeat{JobID: 1 << 30}},
+		{Type: TypeAMReply, AMReply: &AMReply{
+			JobID: 11, Done: 3, Total: 8, Finished: true, FinishedAt: 1234.5,
+			Failed: true, Preemptions: 2,
+			GangRelease: &GangRelease{JobID: 11, Held: 3, Reason: "hold-timeout"},
+		}},
+		{Type: TypeHeartbeatBatch, HeartbeatBatch: &HeartbeatBatch{Beats: []NMHeartbeat{
+			{NodeID: 1, Delta: true},
+			{NodeID: 2, Used: resources.New(1, 0, 0, 0, 0, 0), Allocated: resources.New(2, 0, 0, 0, 0, 0)},
+			{NodeID: 3, Completed: []TaskCompletion{{Task: workload.TaskID{Job: 7, Stage: 0, Index: 1}, Duration: 4}}},
+		}}},
+		{Type: TypeHeartbeatBatchReply, HeartbeatBatchReply: &HeartbeatBatchReply{Replies: []NMBeatReply{
+			{NodeID: 1, Error: "unregistered node 1"},
+			{NodeID: 2, Reply: NMReply{FullReport: true}},
+			{NodeID: 3, Reply: NMReply{Launch: []TaskLaunch{{Task: workload.TaskID{Job: 2, Stage: 0, Index: 0}, JobID: 2, Duration: 9}}}},
+		}}},
+		{Type: TypeClusterStatus},
+		// Cold types: JSON fallback inside v1 frames.
+		{Type: TypeSubmitJob, SubmitJob: &SubmitJob{Job: &workload.Job{ID: 1, Name: "j", Weight: 1}, Tenant: "acme"}},
+		{Type: TypeSubmitReject, SubmitReject: &SubmitReject{JobID: 1, Tenant: "acme", Code: RejectRateLimited, RetryAfter: 0.25}},
+		{Type: TypeSubmitBatch, SubmitBatch: &SubmitBatch{Tenant: "acme", Jobs: []*workload.Job{{ID: 2, Weight: 1}}}},
+		{Type: TypeSubmitBatchReply, SubmitBatchReply: &SubmitBatchReply{Results: []SubmitResult{{JobID: 2, Total: 4}}}},
+		{Type: TypeClusterStatusReply, ClusterStatus: &ClusterStatusReply{
+			Nodes: 3, Live: []int{0, 2}, Dead: []int{1},
+			Faults:        []faults.Record{{Time: 10, Machine: 1, TasksKilled: 2}},
+			DroppedFaults: 7,
+		}},
+	}
+}
+
+func canonJSON(t *testing.T, m *Message) string {
+	t.Helper()
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+// TestCodecEquivalence is the differential oracle: every message type
+// encoded through the legacy JSON path and through a binary Framer
+// must decode to identical structs (compared via canonical JSON, the
+// wire's own definition of identity).
+func TestCodecEquivalence(t *testing.T) {
+	for _, m := range codecCorpus() {
+		want := canonJSON(t, m)
+
+		var jbuf bytes.Buffer
+		if err := Write(&jbuf, m); err != nil {
+			t.Fatalf("%s: legacy write: %v", m.Type, err)
+		}
+		viaJSON, err := Read(&jbuf)
+		if err != nil {
+			t.Fatalf("%s: legacy read: %v", m.Type, err)
+		}
+
+		cf := NewFramer(CodecBinary)
+		var bbuf bytes.Buffer
+		if err := cf.Write(&bbuf, m); err != nil {
+			t.Fatalf("%s: binary write: %v", m.Type, err)
+		}
+		viaBinary, err := NewFramer(CodecJSON).Read(&bbuf)
+		if err != nil {
+			t.Fatalf("%s: binary read: %v", m.Type, err)
+		}
+
+		if got := canonJSON(t, viaJSON); got != want {
+			t.Errorf("%s: JSON path drift:\n got %s\nwant %s", m.Type, got, want)
+		}
+		if got := canonJSON(t, viaBinary); got != want {
+			t.Errorf("%s: binary path drift:\n got %s\nwant %s", m.Type, got, want)
+		}
+	}
+}
+
+// TestFramerFormats pins the negotiation matrix: a JSON client Framer
+// writes byte-compatible legacy frames, a binary client writes magic
+// frames, and a server Framer replies in the format of the last read —
+// so a v0 peer (bare wire.Read) never sees a magic byte.
+func TestFramerFormats(t *testing.T) {
+	hb := &Message{Type: TypeNMHeartbeat, NMHeartbeat: &NMHeartbeat{NodeID: 1, Delta: true}}
+	reply := &Message{Type: TypeNMReply, NMReply: &NMReply{}}
+
+	var legacy, v1 bytes.Buffer
+	if err := NewFramer(CodecJSON).Write(&legacy, hb); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Bytes()[0] == Magic {
+		t.Fatal("JSON client framer emitted a magic byte; v0 servers would choke")
+	}
+	if m, err := Read(bytes.NewReader(legacy.Bytes())); err != nil || m.NMHeartbeat == nil {
+		t.Fatalf("legacy Read of JSON-framer frame: %v", err)
+	}
+	if err := NewFramer(CodecBinary).Write(&v1, hb); err != nil {
+		t.Fatal(err)
+	}
+	if v1.Bytes()[0] != Magic || v1.Bytes()[1] != byte(CodecBinary) {
+		t.Fatalf("binary frame header = % x", v1.Bytes()[:2])
+	}
+	if v1.Len() >= legacy.Len() {
+		t.Errorf("binary delta beat (%dB) not smaller than JSON (%dB)", v1.Len(), legacy.Len())
+	}
+
+	srv := NewServerFramer()
+	var out bytes.Buffer
+
+	// Before any read: legacy, the only universally readable format.
+	if err := srv.Write(&out, reply); err != nil {
+		t.Fatal(err)
+	}
+	if out.Bytes()[0] == Magic {
+		t.Error("server framer opened with a magic byte")
+	}
+
+	// After a binary read: binary.
+	if _, err := srv.Read(bytes.NewReader(v1.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := srv.Write(&out, reply); err != nil {
+		t.Fatal(err)
+	}
+	if out.Bytes()[0] != Magic || out.Bytes()[1] != byte(CodecBinary) {
+		t.Errorf("reply to binary peer = % x, want magic+binary", out.Bytes()[:2])
+	}
+
+	// After a legacy read: back to legacy.
+	if _, err := srv.Read(bytes.NewReader(legacy.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := srv.Write(&out, reply); err != nil {
+		t.Fatal(err)
+	}
+	if out.Bytes()[0] == Magic {
+		t.Error("reply to legacy peer used a magic byte")
+	}
+
+	// Cold type on a binary framer: JSON fallback in a v1 frame, still
+	// auto-detected by any Framer.
+	var cold bytes.Buffer
+	cf := NewFramer(CodecBinary)
+	status := &Message{Type: TypeClusterStatusReply, ClusterStatus: &ClusterStatusReply{Nodes: 2}}
+	if err := cf.Write(&cold, status); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Bytes()[0] != Magic || cold.Bytes()[1] != byte(CodecJSON) {
+		t.Errorf("cold-type fallback header = % x, want magic+json", cold.Bytes()[:2])
+	}
+	if m, err := NewFramer(CodecJSON).Read(&cold); err != nil || m.ClusterStatus == nil {
+		t.Fatalf("reading fallback frame: %v", err)
+	}
+}
+
+// TestEnvelopeValidation pins the exactly-one-payload-matching-Type
+// invariant at decode (satellite: nil-payload frames used to reach
+// handlers and nil-panic).
+func TestEnvelopeValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Message
+		ok   bool
+	}{
+		{"matching payload", &Message{Type: TypeNMHeartbeat, NMHeartbeat: &NMHeartbeat{NodeID: 1}}, true},
+		{"declared type, nil payload", &Message{Type: TypeNMHeartbeat}, false},
+		{"extra payload", &Message{Type: TypeNMHeartbeat, NMHeartbeat: &NMHeartbeat{}, NMReply: &NMReply{}}, false},
+		{"wrong payload", &Message{Type: TypeAMHeartbeat, NMReply: &NMReply{}}, false},
+		{"payload-less request", &Message{Type: TypeClusterStatus}, true},
+		{"payload on payload-less type", &Message{Type: TypeClusterStatus, NMReply: &NMReply{}}, false},
+		{"error with text only", &Message{Type: TypeError, Error: "boom"}, true},
+		{"unknown type, no payload", &Message{Type: "future-type"}, true},
+		{"unknown type with payload", &Message{Type: "future-type", NMReply: &NMReply{}}, false},
+		{"empty message", &Message{}, true},
+		{"batch", &Message{Type: TypeHeartbeatBatch, HeartbeatBatch: &HeartbeatBatch{}}, true},
+	}
+	for _, c := range cases {
+		if err := c.m.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate = %v, want ok=%v", c.name, err, c.ok)
+		}
+		// The invariant is enforced at decode, not just offered as a
+		// helper: a raw frame carrying the invalid envelope must fail
+		// Read with ErrBadMessage.
+		body, err := json.Marshal(c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rerr := Read(bytes.NewReader(frame(uint32(len(body)), body)))
+		if c.ok && rerr != nil {
+			t.Errorf("%s: Read = %v, want ok", c.name, rerr)
+		}
+		if !c.ok && !errors.Is(rerr, ErrBadMessage) {
+			t.Errorf("%s: Read = %v, want ErrBadMessage", c.name, rerr)
+		}
+	}
+}
+
+// TestReadLyingHeaderBoundsAllocation is the regression test for the
+// preallocation bug: a header announcing just under MaxFrame with no
+// body behind it must not allocate the announced 64 MiB — allocation
+// grows only as bytes actually arrive (readChunk stages).
+func TestReadLyingHeaderBoundsAllocation(t *testing.T) {
+	lying := frame(MaxFrame-1, bytes.Repeat([]byte{'x'}, 1000))
+	for name, read := range map[string]func(io.Reader) (*Message, error){
+		"Read":   Read,
+		"Framer": NewServerFramer().Read,
+	} {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		m, err := read(bytes.NewReader(lying))
+		runtime.ReadMemStats(&after)
+		if err == nil || m != nil {
+			t.Fatalf("%s: lying header yielded m=%v err=%v", name, m, err)
+		}
+		if grew := after.TotalAlloc - before.TotalAlloc; grew > 4<<20 {
+			t.Errorf("%s: lying 64MiB header allocated %d bytes; want < 4MiB", name, grew)
+		}
+	}
+}
+
+type writeCounter struct {
+	w     io.Writer
+	calls int
+}
+
+func (c *writeCounter) Write(p []byte) (int, error) {
+	c.calls++
+	return c.w.Write(p)
+}
+
+// TestSingleWriteFraming asserts header and body leave in one Write
+// call on every path, so a deadline can never fire between them and
+// strand a header-only half-frame.
+func TestSingleWriteFraming(t *testing.T) {
+	m := &Message{Type: TypeNMHeartbeat, NMHeartbeat: &NMHeartbeat{NodeID: 1, Used: resources.New(1, 2, 3, 4, 5, 6)}}
+	var buf bytes.Buffer
+
+	wc := &writeCounter{w: &buf}
+	if err := Write(wc, m); err != nil || wc.calls != 1 {
+		t.Errorf("Write: calls=%d err=%v, want one write", wc.calls, err)
+	}
+	for _, c := range []Codec{CodecJSON, CodecBinary} {
+		buf.Reset()
+		wc = &writeCounter{w: &buf}
+		if err := NewFramer(c).Write(wc, m); err != nil || wc.calls != 1 {
+			t.Errorf("Framer(%s).Write: calls=%d err=%v, want one write", c, wc.calls, err)
+		}
+	}
+}
+
+// TestDeadlineMidFrameCleanError drives a write deadline into the
+// middle of a large frame over TCP: the writer fails, and the reader
+// must see a clean transport error — never a garbage decode or a
+// silently desynced stream.
+func TestDeadlineMidFrameCleanError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type result struct {
+		m   *Message
+		err error
+	}
+	got := make(chan result, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			got <- result{nil, err}
+			return
+		}
+		defer conn.Close()
+		// Let the writer hit its deadline before draining anything.
+		time.Sleep(200 * time.Millisecond)
+		m, err := Read(conn)
+		got <- result{m, err}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frame far larger than the socket buffers, so Write blocks with
+	// the frame partially flushed when the deadline fires.
+	big := &Message{Type: TypeError, Error: strings.Repeat("x", 16<<20)}
+	conn.SetWriteDeadline(time.Now().Add(50 * time.Millisecond))
+	if err := Write(conn, big); err == nil {
+		t.Fatal("16MiB write into a full socket beat a 50ms deadline?")
+	}
+	conn.Close()
+	r := <-got
+	if r.m != nil {
+		t.Fatalf("reader decoded a message from a half-written frame: %+v", r.m)
+	}
+	if r.err == nil {
+		t.Fatal("reader saw no error after a half-written frame")
+	}
+	var jsonErr *json.SyntaxError
+	if errors.As(r.err, &jsonErr) {
+		t.Fatalf("reader hit a garbage decode (%v); want a clean transport error", r.err)
+	}
+}
+
+// TestFramerSteadyStateAllocs pins the zero-copy claim: after priming,
+// a delta-heartbeat request/reply exchange through binary Framers
+// allocates nothing on either side.
+func TestFramerSteadyStateAllocs(t *testing.T) {
+	beat := &Message{Type: TypeNMHeartbeat, NMHeartbeat: &NMHeartbeat{NodeID: 42, Delta: true}}
+	reply := &Message{Type: TypeNMReply, NMReply: &NMReply{}}
+	client, server := NewFramer(CodecBinary), NewServerFramer()
+	var buf bytes.Buffer
+	exchange := func() {
+		buf.Reset()
+		if err := client.Write(&buf, beat); err != nil {
+			t.Fatal(err)
+		}
+		if m, err := server.Read(&buf); err != nil || m.NMHeartbeat == nil {
+			t.Fatalf("server read: %v", err)
+		}
+		buf.Reset()
+		if err := server.Write(&buf, reply); err != nil {
+			t.Fatal(err)
+		}
+		if m, err := client.Read(&buf); err != nil || m.NMReply == nil {
+			t.Fatalf("client read: %v", err)
+		}
+	}
+	exchange() // prime buffers and scratch
+	if allocs := testing.AllocsPerRun(200, exchange); allocs > 0 {
+		t.Errorf("steady-state exchange allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestBinaryRejectsMalformed feeds the binary decoder truncated and
+// corrupt payloads, asserting clean failures (no panics, no partial
+// messages) — the varint/count/mask guards at work.
+func TestBinaryRejectsMalformed(t *testing.T) {
+	// A valid binary heartbeat frame to mutate.
+	var buf bytes.Buffer
+	hb := &Message{Type: TypeNMHeartbeat, NMHeartbeat: &NMHeartbeat{
+		NodeID:    3,
+		Used:      resources.New(1, 2, 0, 0, 0, 0),
+		Completed: []TaskCompletion{{Task: workload.TaskID{Job: 1}, Duration: 1}},
+	}}
+	if err := NewFramer(CodecBinary).Write(&buf, hb); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	// v1frame wraps a raw payload in a magic+codec+length header.
+	v1frame := func(codec byte, payload []byte) []byte {
+		d := []byte{Magic, codec, byte(len(payload) >> 24), byte(len(payload) >> 16), byte(len(payload) >> 8), byte(len(payload))}
+		return append(d, payload...)
+	}
+	// A heartbeat body whose completion count claims 2^40 elements with
+	// no bytes behind it: the count guard must reject it before any
+	// proportional allocation.
+	lying := []byte{binNMHeartbeat}
+	lying = appendInt(lying, 1)  // node
+	lying = append(lying, 0)     // flags
+	lying = append(lying, 0, 0)  // zero used/allocated masks
+	lying = binenc.AppendUvarint(lying, 1<<40)
+
+	for _, mutate := range []struct {
+		name string
+		data []byte
+	}{
+		{"truncated body", valid[:len(valid)-3]},
+		{"unknown codec byte", append([]byte{Magic, 0x7F}, valid[2:]...)},
+		{"unknown type byte", v1frame(byte(CodecBinary), []byte{0xEE})},
+		{"lying element count", v1frame(byte(CodecBinary), lying)},
+		{"trailing bytes", v1frame(byte(CodecBinary), append(bytes.Clone(valid[6:]), 0xAB))},
+		{"bad vector mask", v1frame(byte(CodecBinary), []byte{binNMHeartbeat, 2 /*node*/, 0 /*flags*/, 0xFF /*mask with unknown bits*/})},
+	} {
+		f := NewFramer(CodecJSON)
+		if m, err := f.Read(bytes.NewReader(mutate.data)); err == nil {
+			t.Errorf("%s: accepted as %+v", mutate.name, m)
+		}
+	}
+}
+
+// FuzzCodecEquivalence is the fuzz form of the differential oracle:
+// any byte stream the legacy JSON reader accepts must survive a
+// binary encode→decode round trip unchanged.
+func FuzzCodecEquivalence(f *testing.F) {
+	for _, m := range codecCorpus() {
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // not a valid message; nothing to compare
+		}
+		want, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("marshal read message: %v", err)
+		}
+		var v1 bytes.Buffer
+		cf := NewFramer(CodecBinary)
+		if err := cf.Write(&v1, m); err != nil {
+			t.Fatalf("binary write: %v", err)
+		}
+		m2, err := NewFramer(CodecJSON).Read(&v1)
+		if err != nil {
+			t.Fatalf("binary read back: %v", err)
+		}
+		got, err := json.Marshal(m2)
+		if err != nil {
+			t.Fatalf("marshal round-tripped message: %v", err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("codec drift:\n json: %s\n  bin: %s", want, got)
+		}
+		if rest, _ := io.ReadAll(&v1); len(rest) != 0 {
+			t.Fatalf("binary read left %d unconsumed bytes", len(rest))
+		}
+	})
+}

@@ -73,6 +73,21 @@ func FuzzWireRoundTrip(f *testing.F) {
 		GangRelease: &GangRelease{JobID: 11, Held: 3, Reason: "hold-timeout"},
 	}}))
 	f.Add(valid(&Message{Type: TypeError, Error: "boom"}))
+	f.Add(valid(&Message{Type: TypeHeartbeatBatch, HeartbeatBatch: &HeartbeatBatch{Beats: []NMHeartbeat{
+		{NodeID: 1, Delta: true},
+		{NodeID: 2, Used: resources.New(1, 0, 0, 0, 0, 0)},
+	}}}))
+	f.Add(valid(&Message{Type: TypeHeartbeatBatchReply, HeartbeatBatchReply: &HeartbeatBatchReply{Replies: []NMBeatReply{
+		{NodeID: 1, Error: "unregistered node 1"},
+		{NodeID: 2, Reply: NMReply{FullReport: true}},
+	}}}))
+	// Envelope-invariant seeds: declared type with a nil payload, and a
+	// payload contradicting the type. Read must reject both (ErrBadMessage),
+	// never hand them to a handler that would nil-panic.
+	badNil := []byte(`{"type":"nm-heartbeat"}`)
+	f.Add(frame(uint32(len(badNil)), badNil))
+	badExtra := []byte(`{"type":"error","nmReply":{}}`)
+	f.Add(frame(uint32(len(badExtra)), badExtra))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Read(bytes.NewReader(data))
@@ -81,6 +96,9 @@ func FuzzWireRoundTrip(f *testing.F) {
 				t.Fatalf("Read returned both a message and error %v", err)
 			}
 			return // malformed input must fail cleanly, and did
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Read accepted a message violating the envelope invariant: %v", err)
 		}
 		// The stream decoded: Write→Read must reproduce the message
 		// exactly. Compare via canonical JSON — that is the wire's own

@@ -30,38 +30,119 @@ const MaxFrame = 64 << 20
 // oversize frame is a peer bug or corruption, never worth a retry.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
 
+// ErrBadMessage marks a structurally invalid envelope: the set of
+// payload fields does not match the declared Type (nil payload for a
+// type that requires one, extra payloads alongside it, or payloads on a
+// type that carries none). Handlers may therefore dereference the
+// payload matching a decoded message's Type without nil checks.
+var ErrBadMessage = errors.New("wire: payload fields do not match message type")
+
 // Message types.
 const (
-	TypeRegisterNM         = "register-nm"
-	TypeNMHeartbeat        = "nm-heartbeat"
-	TypeNMReply            = "nm-reply"
-	TypeSubmitJob          = "submit-job"
-	TypeSubmitReject       = "submit-reject"
-	TypeSubmitBatch        = "submit-batch"
-	TypeSubmitBatchReply   = "submit-batch-reply"
-	TypeAMHeartbeat        = "am-heartbeat"
-	TypeAMReply            = "am-reply"
-	TypeClusterStatus      = "cluster-status"
-	TypeClusterStatusReply = "cluster-status-reply"
-	TypeError              = "error"
+	TypeRegisterNM          = "register-nm"
+	TypeNMHeartbeat         = "nm-heartbeat"
+	TypeNMReply             = "nm-reply"
+	TypeSubmitJob           = "submit-job"
+	TypeSubmitReject        = "submit-reject"
+	TypeSubmitBatch         = "submit-batch"
+	TypeSubmitBatchReply    = "submit-batch-reply"
+	TypeAMHeartbeat         = "am-heartbeat"
+	TypeAMReply             = "am-reply"
+	TypeClusterStatus       = "cluster-status"
+	TypeClusterStatusReply  = "cluster-status-reply"
+	TypeHeartbeatBatch      = "heartbeat-batch"
+	TypeHeartbeatBatchReply = "heartbeat-batch-reply"
+	TypeError               = "error"
 )
 
 // Message is the envelope for every frame. Exactly one payload field is
-// set, matching Type.
+// set, matching Type; Read and Framer.Read enforce this (ErrBadMessage)
+// so handlers never see a declared type with a nil payload.
 type Message struct {
 	Type string `json:"type"`
 
-	RegisterNM       *RegisterNM         `json:"registerNM,omitempty"`
-	NMHeartbeat      *NMHeartbeat        `json:"nmHeartbeat,omitempty"`
-	NMReply          *NMReply            `json:"nmReply,omitempty"`
-	SubmitJob        *SubmitJob          `json:"submitJob,omitempty"`
-	SubmitReject     *SubmitReject       `json:"submitReject,omitempty"`
-	SubmitBatch      *SubmitBatch        `json:"submitBatch,omitempty"`
-	SubmitBatchReply *SubmitBatchReply   `json:"submitBatchReply,omitempty"`
-	AMHeartbeat      *AMHeartbeat        `json:"amHeartbeat,omitempty"`
-	AMReply          *AMReply            `json:"amReply,omitempty"`
-	ClusterStatus    *ClusterStatusReply `json:"clusterStatus,omitempty"`
-	Error            string              `json:"error,omitempty"`
+	RegisterNM          *RegisterNM          `json:"registerNM,omitempty"`
+	NMHeartbeat         *NMHeartbeat         `json:"nmHeartbeat,omitempty"`
+	NMReply             *NMReply             `json:"nmReply,omitempty"`
+	SubmitJob           *SubmitJob           `json:"submitJob,omitempty"`
+	SubmitReject        *SubmitReject        `json:"submitReject,omitempty"`
+	SubmitBatch         *SubmitBatch         `json:"submitBatch,omitempty"`
+	SubmitBatchReply    *SubmitBatchReply    `json:"submitBatchReply,omitempty"`
+	AMHeartbeat         *AMHeartbeat         `json:"amHeartbeat,omitempty"`
+	AMReply             *AMReply             `json:"amReply,omitempty"`
+	ClusterStatus       *ClusterStatusReply  `json:"clusterStatus,omitempty"`
+	HeartbeatBatch      *HeartbeatBatch      `json:"heartbeatBatch,omitempty"`
+	HeartbeatBatchReply *HeartbeatBatchReply `json:"heartbeatBatchReply,omitempty"`
+	Error               string               `json:"error,omitempty"`
+}
+
+// payloads returns a bitmask of which payload fields are non-nil, and
+// the bit the declared Type requires (0 for payload-less types and
+// unknown types — which must then set no payload at all).
+func (m *Message) payloads() (set, want uint16) {
+	fields := [...]struct {
+		bit   uint16
+		typ   string
+		unset bool
+	}{
+		{1 << 0, TypeRegisterNM, m.RegisterNM == nil},
+		{1 << 1, TypeNMHeartbeat, m.NMHeartbeat == nil},
+		{1 << 2, TypeNMReply, m.NMReply == nil},
+		{1 << 3, TypeSubmitJob, m.SubmitJob == nil},
+		{1 << 4, TypeSubmitReject, m.SubmitReject == nil},
+		{1 << 5, TypeSubmitBatch, m.SubmitBatch == nil},
+		{1 << 6, TypeSubmitBatchReply, m.SubmitBatchReply == nil},
+		{1 << 7, TypeAMHeartbeat, m.AMHeartbeat == nil},
+		{1 << 8, TypeAMReply, m.AMReply == nil},
+		{1 << 9, TypeClusterStatusReply, m.ClusterStatus == nil},
+		{1 << 10, TypeHeartbeatBatch, m.HeartbeatBatch == nil},
+		{1 << 11, TypeHeartbeatBatchReply, m.HeartbeatBatchReply == nil},
+	}
+	for _, f := range fields {
+		if !f.unset {
+			set |= f.bit
+		}
+		if f.typ == m.Type {
+			want = f.bit
+		}
+	}
+	return set, want
+}
+
+// Validate checks the envelope invariant: the payload matching Type is
+// set and no other payload is. Types without a payload struct (error,
+// cluster-status requests, unknown types — which serve loops answer
+// with a typed error rather than a dropped connection) must carry none.
+func (m *Message) Validate() error {
+	set, want := m.payloads()
+	if set != want {
+		return fmt.Errorf("%w: type %q", ErrBadMessage, m.Type)
+	}
+	return nil
+}
+
+// HeartbeatBatch coalesces many nodes' heartbeats into one frame on a
+// shared connection (the hollow fleet's sharded sessions). The RM
+// answers with a HeartbeatBatchReply carrying one entry per beat, in
+// order, so per-node ack semantics (DeltaTracker baseline advance)
+// are identical to individually framed heartbeats.
+type HeartbeatBatch struct {
+	Beats []NMHeartbeat `json:"beats"`
+}
+
+// NMBeatReply is one node's verdict inside a batch reply: either Error
+// is non-empty (e.g. the node must re-register) or Reply holds the
+// NMReply the node would have received on its own connection.
+type NMBeatReply struct {
+	NodeID int     `json:"nodeID"`
+	Error  string  `json:"error,omitempty"`
+	Reply  NMReply `json:"reply"`
+}
+
+// HeartbeatBatchReply answers a HeartbeatBatch with per-node verdicts,
+// in the order the beats appeared in the batch.
+type HeartbeatBatchReply struct {
+	Replies []NMBeatReply `json:"replies"`
 }
 
 // RegisterNM announces a node manager and its machine capacity. On
@@ -269,7 +350,12 @@ type ClusterStatusReply struct {
 	DroppedFaults uint64 `json:"droppedFaults,omitempty"`
 }
 
-// Write frames and writes one message.
+// Write frames and writes one message as a single Write call: header
+// and body go out together, so a deadline firing mid-message can never
+// leave a header-only half-frame desyncing the stream. (A deadline can
+// still truncate a large frame inside the kernel; the connection is
+// then unusable and must be closed, but the peer sees a clean
+// truncated-frame error rather than a garbage decode.)
 func Write(w io.Writer, m *Message) error {
 	body, err := json.Marshal(m)
 	if err != nil {
@@ -278,16 +364,45 @@ func Write(w io.Writer, m *Message) error {
 	if len(body) > MaxFrame {
 		return fmt.Errorf("%w: marshaled message is %d bytes", ErrFrameTooLarge, len(body))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(body)
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(len(body)))
+	copy(buf[4:], body)
+	_, err = w.Write(buf)
 	return err
 }
 
-// Read reads one framed message.
+// readChunk is the staged-allocation step for frame bodies: the buffer
+// grows by at most this much ahead of bytes actually received, so a
+// peer announcing a just-under-MaxFrame header on many connections
+// cannot balloon memory without paying for the bytes itself.
+const readChunk = 256 << 10
+
+// readBody reads an n-byte frame body into buf (reusing its capacity),
+// growing in readChunk steps as bytes actually arrive.
+func readBody(r io.Reader, buf []byte, n int) ([]byte, error) {
+	buf = buf[:0]
+	for len(buf) < n {
+		target := len(buf) + readChunk
+		if target > n {
+			target = n
+		}
+		if target > cap(buf) {
+			grown := make([]byte, len(buf), target)
+			copy(grown, buf)
+			buf = grown
+		}
+		chunk := buf[len(buf):target]
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return buf, err
+		}
+		buf = buf[:target]
+	}
+	return buf, nil
+}
+
+// Read reads one framed message. Decoded messages satisfy the envelope
+// invariant (exactly the payload matching Type is set); frames that
+// violate it fail with ErrBadMessage.
 func Read(r io.Reader) (*Message, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -297,13 +412,16 @@ func Read(r io.Reader) (*Message, error) {
 	if n > MaxFrame {
 		return nil, fmt.Errorf("%w: header announces %d bytes", ErrFrameTooLarge, n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	body, err := readBody(r, nil, int(n))
+	if err != nil {
 		return nil, err
 	}
 	var m Message
 	if err := json.Unmarshal(body, &m); err != nil {
 		return nil, fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
 	}
 	return &m, nil
 }
